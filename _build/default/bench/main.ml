@@ -1,0 +1,204 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section (§IV) and times the flows with Bechamel.
+
+   Sections:
+     1. Table I   — cost-model cross-check (formula vs executed programs)
+     2. Table II  — the six optimization columns over the 25-benchmark suite
+     3. Table III — comparison with the BDD flow [11] and the AIG flow [12]
+     4. §IV-A     — runtime claim ("each algorithm < 3 s for the whole set")
+     5. Bechamel  — one Test.make per table
+
+   EFFORT (env var) overrides the paper's effort = 40. *)
+
+open Bechamel
+open Toolkit
+
+let effort =
+  match Sys.getenv_opt "EFFORT" with
+  | Some v -> int_of_string v
+  | None -> Core.Mig_opt.default_effort
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  Printf.printf "MIG-based RRAM synthesis — evaluation harness (effort = %d)\n" effort;
+
+  section "Table I: cost model cross-check";
+  Format.printf "%a@." Exp.Experiments.pp_table1_check ();
+
+  section "Table II: optimization results (25 benchmarks, 6 columns)";
+  let t2, t2_time = wall (fun () -> Exp.Experiments.table2 ~effort ()) in
+  Format.printf "%a@." Exp.Experiments.pp_table2 t2;
+  Printf.printf "(Table II computed in %.2f s — all six algorithms over the suite)\n" t2_time;
+
+  section "Table III (left): MIG vs the BDD-based flow [11]";
+  let t3b, t3b_time = wall (fun () -> Exp.Experiments.table3_bdd ~effort ()) in
+  Format.printf "%a@." Exp.Experiments.pp_table3_bdd t3b;
+  Printf.printf "(computed in %.2f s)\n" t3b_time;
+
+  section "Table III (right): MIG vs the AIG-based flow [12]";
+  let t3a, t3a_time = wall (fun () -> Exp.Experiments.table3_aig ~effort ()) in
+  Format.printf "%a@." Exp.Experiments.pp_table3_aig t3a;
+  Printf.printf "(computed in %.2f s)\n" t3a_time;
+
+  section "End-to-end verification (device simulator vs source networks)";
+  List.iter
+    (fun name ->
+      match Io.Benchmarks.find name with
+      | None -> Printf.printf "  %-10s missing!\n" name
+      | Some e -> (
+          match Exp.Experiments.verify_entry e with
+          | Ok () -> Printf.printf "  %-10s all four compiled programs verified\n%!" name
+          | Error msg -> Printf.printf "  %-10s FAILED: %s\n%!" name msg))
+    [ "5xp1"; "alu4"; "b9"; "clip"; "cm150a"; "cordic"; "t481"; "rd53f2"; "9sym_d"; "xor5_d" ];
+
+  section "Runtime claim (paper §IV-A: each algorithm < 3 s on the whole suite)";
+  let time_algorithm name run =
+    let _, dt =
+      wall (fun () ->
+          List.iter
+            (fun e ->
+              let mig = Core.Mig_of_network.convert (e.Io.Benchmarks.build ()) in
+              ignore (run mig))
+            Io.Benchmarks.table2)
+    in
+    Printf.printf "  %-24s %.2f s (paper bound: < 3 s)\n%!" name dt
+  in
+  time_algorithm "area (Alg. 1)" (Core.Mig_opt.area ~effort);
+  time_algorithm "depth (Alg. 2)" (Core.Mig_opt.depth ~effort);
+  time_algorithm "rram-costs IMP (Alg. 3)"
+    (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Imp);
+  time_algorithm "rram-costs MAJ (Alg. 3)"
+    (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj);
+  time_algorithm "steps (Alg. 4)" (Core.Mig_opt.steps ~effort);
+
+  section "Ablations (design-choice studies; see DESIGN.md)";
+  let pick name = Option.get (Io.Benchmarks.find name) in
+  Format.printf "@[<v>Effort sweep (Alg. 4, MAJ costs) — where effort=40 saturates:@,";
+  List.iter
+    (fun name ->
+      Format.printf "  %s:@,%a" name Exp.Ablation.pp_effort_sweep
+        (Exp.Ablation.effort_sweep (pick name)))
+    [ "b9"; "cordic"; "alu4" ];
+  Format.printf "@,Rule ablation (what each mechanism of Alg. 4 buys, MAJ costs):@,";
+  List.iter
+    (fun name ->
+      Format.printf "  %s:@,%a" name Exp.Ablation.pp_rule_ablation
+        (Exp.Ablation.rule_ablation (pick name)))
+    [ "b9"; "cordic"; "parity" ];
+  Format.printf
+    "@,Duplication bound of the multi-objective algorithm (R-vs-S trade-off):@,";
+  List.iter
+    (fun name ->
+      Format.printf "  %s:@,%a" name Exp.Ablation.pp_fanout_sweep
+        (Exp.Ablation.fanout_limit_sweep (pick name)))
+    [ "b9"; "alu4" ];
+  Format.printf "@,BDD variable order (baseline sensitivity; nodes / levelized steps):@,";
+  List.iter
+    (fun name ->
+      Format.printf "  %-8s" name;
+      List.iter
+        (fun (h, nodes, steps) ->
+          if nodes < 0 then Format.printf "  %s: overflow" h
+          else Format.printf "  %s: %d/%d" h nodes steps)
+        (Exp.Ablation.bdd_order_sweep (pick name));
+      Format.printf "@,")
+    [ "alu4"; "cm150a"; "t481" ];
+  Format.printf
+    "@,Level scheduling (ASAP vs slack-balanced; MAJ costs — R drops for free):@,";
+  List.iter
+    (fun name ->
+      let asap, bal = Exp.Ablation.schedule_row (pick name) in
+      Format.printf "  %-10s ASAP %a   balanced %a@," name Core.Rram_cost.pp asap
+        Core.Rram_cost.pp bal)
+    [ "5xp1"; "alu4"; "apex4"; "misex3"; "seq" ];
+  Format.printf
+    "@,Boolean cut rewriting (extension; gates: initial / Alg.1 / Alg.1+Boolean):@,";
+  List.iter
+    (fun name ->
+      let init, area, boolean = Exp.Ablation.boolean_rewrite_row (pick name) in
+      Format.printf "  %-10s %4d / %4d / %4d@," name init area boolean)
+    [ "5xp1"; "cordic"; "misex1"; "x2"; "apex4" ];
+  Format.printf
+    "@,PLiM computer [15] (sequential RM3 stream) vs level-parallel realizations:@,";
+  List.iter
+    (fun name ->
+      let r = Exp.Ablation.plim_row (pick name) in
+      Format.printf
+        "  %-8s gates=%4d  PLiM %5d RM3 / %4d cells   MAJ %4d steps   IMP %4d steps@,"
+        name r.Exp.Ablation.gates r.Exp.Ablation.plim_instructions
+        r.Exp.Ablation.plim_cells r.Exp.Ablation.maj_steps r.Exp.Ablation.imp_steps)
+    [ "5xp1"; "alu4"; "b9"; "clip"; "cordic"; "t481" ];
+  Format.printf
+    "@,Pulse energy (static pulse counts, arbitrary units) and crossbar geometry:@,";
+  List.iter
+    (fun name ->
+      let mig =
+        Core.Mig_opt.steps ~effort:20
+          (Core.Mig_of_network.convert ((pick name).Io.Benchmarks.build ()))
+      in
+      let line realization =
+        let r = Rram.Compile_mig.compile realization mig in
+        let e = Rram.Energy.static_energy r.Rram.Compile_mig.program in
+        let place = Rram.Placement.place r.Rram.Compile_mig.program in
+        Format.asprintf "%a %7.0f a.u., %a" Core.Rram_cost.pp_realization realization e
+          Rram.Placement.pp place
+      in
+      Format.printf "  %-8s %s | %s@," name (line Core.Rram_cost.Imp)
+        (line Core.Rram_cost.Maj))
+    [ "alu4"; "b9"; "cordic"; "t481" ];
+  Format.printf "@]@.";
+
+  section "Bechamel micro-benchmarks (one per table)";
+  let table1_test =
+    Test.make ~name:"table1/maj-gate-compile+execute"
+      (Staged.stage (fun () ->
+           let mig = Core.Mig.create () in
+           let a = Core.Mig.add_pi mig in
+           let b = Core.Mig.add_pi mig in
+           let c = Core.Mig.add_pi mig in
+           ignore (Core.Mig.add_po mig (Core.Mig.maj mig a b c));
+           let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+           Rram.Interp.run r.Rram.Compile_mig.program [| true; false; true |]))
+  in
+  let alu4 = (Option.get (Io.Benchmarks.find "alu4")).Io.Benchmarks.build () in
+  let alu4_mig = Core.Mig_of_network.convert alu4 in
+  let table2_test =
+    Test.make ~name:"table2/steps-optimization-alu4"
+      (Staged.stage (fun () -> Core.Mig_opt.steps ~effort:10 alu4_mig))
+  in
+  let b9 = (Option.get (Io.Benchmarks.find "b9")).Io.Benchmarks.build () in
+  let b9_perm = Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs b9 in
+  let table3_bdd_test =
+    Test.make ~name:"table3/bdd-flow-b9"
+      (Staged.stage (fun () ->
+           Rram.Compile_bdd.compile (Bdd_lib.Bdd_of_network.build ~perm:b9_perm b9)))
+  in
+  let rd73 = Logic.Funcgen.rd 7 3 in
+  let table3_aig_test =
+    Test.make ~name:"table3/aig-flow-rd73"
+      (Staged.stage (fun () ->
+           Rram.Compile_aig.compile (Aig_lib.Aig_of_network.convert rd73)))
+  in
+  let tests = [ table1_test; table2_test; table3_bdd_test; table3_aig_test ] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols (List.hd instances) raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-40s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        results)
+    tests;
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,303 @@
+(* migsyn — MIG-based logic synthesis for RRAM in-memory computing.
+
+   Subcommands:
+     stats     parse a netlist and print representation statistics
+     optimize  run one of the paper's four algorithms, write BLIF out
+     map       compile to an RRAM program, report costs, verify, dump
+     compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
+     bench     run the paper's experiment rows for named benchmarks *)
+
+open Cmdliner
+
+let parse_netlist path =
+  match Filename.extension path with
+  | ".blif" -> Io.Blif.parse_file path
+  | ".bench" -> Io.Bench_format.parse_file path
+  | ".pla" -> Io.Pla.parse_file path
+  | ".aag" -> Io.Aiger.parse_file path
+  | ext -> failwith ("unsupported netlist extension: " ^ ext)
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"NETLIST" ~doc:"Input netlist (.blif, .bench, .pla or .aag).")
+
+let effort_arg =
+  Arg.(
+    value & opt int Core.Mig_opt.default_effort
+    & info [ "e"; "effort" ] ~docv:"N" ~doc:"Optimization effort (cycles).")
+
+let algorithm_conv =
+  let parse = function
+    | "area" -> Ok Core.Mig_opt.Area
+    | "depth" -> Ok Core.Mig_opt.Depth
+    | "rram-imp" -> Ok (Core.Mig_opt.Rram_costs Core.Rram_cost.Imp)
+    | "rram-maj" -> Ok (Core.Mig_opt.Rram_costs Core.Rram_cost.Maj)
+    | "steps" -> Ok Core.Mig_opt.Steps
+    | "bool-rewrite" -> Ok Core.Mig_opt.Boolean
+    | s -> Error (`Msg ("unknown algorithm " ^ s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Core.Mig_opt.algorithm_name a))
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt algorithm_conv Core.Mig_opt.Steps
+    & info [ "a"; "algorithm" ] ~docv:"ALG"
+        ~doc:
+          "Optimization algorithm: area, depth, rram-imp, rram-maj, steps, or \
+           the beyond-paper bool-rewrite.")
+
+let realization_conv =
+  let parse = function
+    | "imp" -> Ok Core.Rram_cost.Imp
+    | "maj" -> Ok Core.Rram_cost.Maj
+    | s -> Error (`Msg ("unknown realization " ^ s))
+  in
+  Arg.conv (parse, fun ppf r -> Core.Rram_cost.pp_realization ppf r)
+
+let realization_arg =
+  Arg.(
+    value
+    & opt realization_conv Core.Rram_cost.Maj
+    & info [ "r"; "realization" ] ~docv:"R" ~doc:"RRAM realization: imp or maj.")
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let run path =
+    let net = parse_netlist path in
+    Format.printf "network: %a@." Logic.Network.pp_stats net;
+    let mig = Core.Mig_of_network.convert net in
+    let lv = Core.Mig_levels.compute mig in
+    Format.printf "MIG:     %a depth=%d@." Core.Mig.pp_stats mig lv.Core.Mig_levels.depth;
+    let aig = Aig_lib.Aig_of_network.convert net in
+    Format.printf "AIG:     %a@." Aig_lib.Aig.pp_stats aig;
+    (try
+       let bdd =
+         Bdd_lib.Bdd_of_network.build ~max_nodes:1_000_000
+           ~perm:(Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs net)
+           net
+       in
+       Format.printf "BDD:     %a@." Bdd_lib.Bdd_stats.pp (Bdd_lib.Bdd_stats.of_result bdd)
+     with Bdd_lib.Bdd.Limit_exceeded -> Format.printf "BDD:     > 1M nodes (skipped)@.");
+    Format.printf "Table I: IMP %a   MAJ %a@." Core.Rram_cost.pp
+      (Core.Rram_cost.of_mig Core.Rram_cost.Imp mig)
+      Core.Rram_cost.pp
+      (Core.Rram_cost.of_mig Core.Rram_cost.Maj mig)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print representation statistics for a netlist")
+    Term.(const run $ input_arg)
+
+(* ---------------- optimize ---------------- *)
+
+let optimize_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the optimized MIG as BLIF.")
+  in
+  let run path alg effort out =
+    let net = parse_netlist path in
+    let mig = Core.Mig_of_network.convert net in
+    let before_imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp mig in
+    let optimized = Core.Mig_opt.run ~effort alg mig in
+    if not (Core.Mig_equiv.equivalent_network optimized net) then
+      failwith "internal error: optimization changed the function";
+    let imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp optimized in
+    let maj = Core.Rram_cost.of_mig Core.Rram_cost.Maj optimized in
+    Format.printf "%s (effort %d): %a@." (Core.Mig_opt.algorithm_name alg) effort
+      Core.Mig.pp_stats optimized;
+    Format.printf "  IMP %a (initial %a)@." Core.Rram_cost.pp imp Core.Rram_cost.pp
+      before_imp;
+    Format.printf "  MAJ %a@." Core.Rram_cost.pp maj;
+    match out with
+    | None -> ()
+    | Some f ->
+        Io.Blif.write_file ~model_name:"optimized" f (Core.Mig_to_network.export optimized);
+        Format.printf "wrote %s@." f
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a netlist with one of the paper's algorithms")
+    Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ out_arg)
+
+(* ---------------- map ---------------- *)
+
+let map_cmd =
+  let dump_arg =
+    Arg.(value & flag & info [ "p"; "program" ] ~doc:"Dump the full program listing.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip simulator verification.")
+  in
+  let run path alg effort realization dump no_verify =
+    let net = parse_netlist path in
+    let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
+    let r = Rram.Compile_mig.compile realization mig in
+    Format.printf
+      "%a realization after %s optimization:@.  Table I: %a@.  program: %d RRAMs, %d steps@."
+      Core.Rram_cost.pp_realization realization (Core.Mig_opt.algorithm_name alg)
+      Core.Rram_cost.pp r.Rram.Compile_mig.analytic r.Rram.Compile_mig.measured_rrams
+      r.Rram.Compile_mig.measured_steps;
+    let counts = Rram.Energy.static_counts r.Rram.Compile_mig.program in
+    Format.printf
+      "  pulses: %d loads, %d resets, %d IMP, %d MAJ (static energy %.1f a.u.)@."
+      counts.Rram.Energy.loads counts.Rram.Energy.resets counts.Rram.Energy.imps
+      counts.Rram.Energy.maj_pulses
+      (Rram.Energy.static_energy r.Rram.Compile_mig.program);
+    Format.printf "  placement: %a@." Rram.Placement.pp
+      (Rram.Placement.place r.Rram.Compile_mig.program);
+    if not no_verify then begin
+      match Rram.Verify.against_network r.Rram.Compile_mig.program net with
+      | Ok () -> Format.printf "  verified against the source netlist@."
+      | Error e -> failwith ("verification failed: " ^ e)
+    end;
+    if dump then Format.printf "@.%a@." Rram.Program.pp r.Rram.Compile_mig.program
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Compile a netlist to an RRAM program")
+    Term.(
+      const run $ input_arg $ algorithm_arg $ effort_arg $ realization_arg $ dump_arg
+      $ no_verify_arg)
+
+(* ---------------- compare ---------------- *)
+
+let compare_cmd =
+  let run path effort =
+    let net = parse_netlist path in
+    let mig = Core.Mig_of_network.convert net in
+    let rram_maj = Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj mig in
+    let rram_imp = Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Imp mig in
+    let maj = Rram.Compile_mig.compile Core.Rram_cost.Maj rram_maj in
+    let imp = Rram.Compile_mig.compile Core.Rram_cost.Imp rram_imp in
+    Format.printf "MIG-MAJ: %d RRAMs %d steps@.MIG-IMP: %d RRAMs %d steps@."
+      maj.Rram.Compile_mig.measured_rrams maj.Rram.Compile_mig.measured_steps
+      imp.Rram.Compile_mig.measured_rrams imp.Rram.Compile_mig.measured_steps;
+    (try
+       let built =
+         Bdd_lib.Bdd_of_network.build ~max_nodes:1_000_000
+           ~perm:(Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs net)
+           net
+       in
+       let lev = Rram.Compile_bdd.compile ~mode:`Levelized built in
+       let seq = Rram.Compile_bdd.compile ~mode:`Sequential built in
+       Format.printf "BDD [11]: %d nodes, %d RRAMs %d steps (levelized), %d steps (sequential)@."
+         lev.Rram.Compile_bdd.bdd_nodes lev.Rram.Compile_bdd.measured_rrams
+         lev.Rram.Compile_bdd.measured_steps seq.Rram.Compile_bdd.measured_steps
+     with Bdd_lib.Bdd.Limit_exceeded -> Format.printf "BDD [11]: overflow (> 1M nodes)@.");
+    let aig =
+      Aig_lib.Aig_balance.balance
+        (Aig_lib.Aig_rewrite.rewrite (Aig_lib.Aig_of_network.convert net))
+    in
+    let a = Rram.Compile_aig.compile ~mode:`Sequential aig in
+    Format.printf "AIG [12]: %d ANDs, %d RRAMs %d steps (sequential)@."
+      a.Rram.Compile_aig.aig_nodes a.Rram.Compile_aig.measured_rrams
+      a.Rram.Compile_aig.measured_steps
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare the MIG flow against the BDD and AIG baselines")
+    Term.(const run $ input_arg $ effort_arg)
+
+(* ---------------- plim ---------------- *)
+
+let plim_cmd =
+  let dump_arg =
+    Arg.(value & flag & info [ "p"; "program" ] ~doc:"Dump the RM3 instruction stream.")
+  in
+  let run path alg effort dump =
+    let net = parse_netlist path in
+    let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
+    let c = Rram.Plim.compile mig in
+    Format.printf
+      "PLiM compilation after %s optimization:@.  %d RM3 instructions, %d cells (%.2f RM3/gate over %d gates)@."
+      (Core.Mig_opt.algorithm_name alg) c.Rram.Plim.instructions c.Rram.Plim.cells_used
+      c.Rram.Plim.rm3_per_gate (Core.Mig.size mig);
+    (match Rram.Plim.verify c.Rram.Plim.program mig with
+    | Ok () -> Format.printf "  verified on the PLiM machine model@."
+    | Error e -> failwith ("verification failed: " ^ e));
+    if dump then Format.printf "@.%a@." Rram.Plim.pp_program c.Rram.Plim.program
+  in
+  Cmd.v
+    (Cmd.info "plim"
+       ~doc:"Compile to an RM3 instruction stream for the PLiM computer [15]")
+    Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ dump_arg)
+
+(* ---------------- export ---------------- *)
+
+let export_cmd =
+  let format_conv =
+    let parse = function
+      | ("dot" | "verilog" | "blif" | "bench" | "aag") as s -> Ok s
+      | s -> Error (`Msg ("unknown export format " ^ s))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let format_arg =
+    Arg.(
+      value & opt format_conv "dot"
+      & info [ "f"; "format" ] ~docv:"FMT"
+          ~doc:"Output format: dot, verilog, blif, bench or aag.")
+  in
+  let out_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run path alg effort fmt out =
+    let net = parse_netlist path in
+    let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
+    let contents =
+      match fmt with
+      | "dot" -> Io.Export.mig_to_dot mig
+      | "verilog" -> Io.Export.mig_to_verilog ~module_name:"mig" mig
+      | "blif" -> Io.Blif.write_string ~model_name:"mig" (Core.Mig_to_network.export mig)
+      | "bench" -> Io.Bench_format.write_string (Core.Mig_to_network.export mig)
+      | "aag" ->
+          Io.Aiger.write_aig
+            (Aig_lib.Aig_of_network.convert (Core.Mig_to_network.export mig))
+      | _ -> assert false
+    in
+    Io.Export.write_file out contents;
+    Format.printf "wrote %s (%s) after %s optimization@." out fmt
+      (Core.Mig_opt.algorithm_name alg)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the optimized MIG as DOT/Verilog/BLIF/bench/AIGER")
+    Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ format_arg $ out_arg)
+
+(* ---------------- bench ---------------- *)
+
+let bench_cmd =
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmark names.")
+  in
+  let run effort names =
+    let entries =
+      match names with
+      | [] -> Io.Benchmarks.table2
+      | names ->
+          List.filter_map
+            (fun n ->
+              match Io.Benchmarks.find n with
+              | Some e -> Some e
+              | None ->
+                  Format.printf "unknown benchmark %s@." n;
+                  None)
+            names
+    in
+    let rows = List.map (Exp.Experiments.table2_row ~effort) entries in
+    Format.printf "%a@." Exp.Experiments.pp_table2 rows
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run the paper's Table II flow for named benchmarks")
+    Term.(const run $ effort_arg $ names_arg)
+
+let () =
+  let info =
+    Cmd.info "migsyn" ~version:"1.0.0"
+      ~doc:"MIG-based logic synthesis for RRAM in-memory computing (DATE 2016)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; optimize_cmd; map_cmd; compare_cmd; bench_cmd; plim_cmd; export_cmd ]))

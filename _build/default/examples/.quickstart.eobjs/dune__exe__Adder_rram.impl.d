@@ -1,0 +1,1 @@
+examples/adder_rram.ml: Core Format List Logic Printf Rram

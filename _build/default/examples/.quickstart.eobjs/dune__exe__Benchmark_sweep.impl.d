@@ -1,0 +1,1 @@
+examples/benchmark_sweep.ml: Array Exp Format Io List Sys

@@ -1,0 +1,1 @@
+examples/benchmark_sweep.mli:

@@ -1,0 +1,1 @@
+examples/crossbar_trace.ml: Array Bool Core Format List Rram String

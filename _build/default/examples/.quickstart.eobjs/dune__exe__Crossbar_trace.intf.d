@@ -1,0 +1,1 @@
+examples/crossbar_trace.mli:

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Core Format List Logic Printf Rram

@@ -1,0 +1,1 @@
+examples/fault_injection.mli:

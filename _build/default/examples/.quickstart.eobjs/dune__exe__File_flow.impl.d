@@ -1,0 +1,1 @@
+examples/file_flow.ml: Array Core Filename Format Io List Logic Rram Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bool Core Format List Rram

@@ -1,0 +1,1 @@
+examples/sequential_fsm.ml: Array Core Format Io List Logic Network Printf Rram Seq String

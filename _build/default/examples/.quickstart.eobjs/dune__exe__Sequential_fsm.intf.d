@@ -1,0 +1,1 @@
+examples/sequential_fsm.mli:

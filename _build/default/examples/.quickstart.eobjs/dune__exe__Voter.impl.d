@@ -1,0 +1,1 @@
+examples/voter.ml: Array Bool Core Format List Rram

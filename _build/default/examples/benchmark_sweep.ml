@@ -1,0 +1,29 @@
+(* Run the paper's full flow over a selection of the benchmark suite and
+   print a Table-II-style report.  Pass benchmark names as arguments, or
+   nothing for a representative subset; pass "all" for the whole Table II
+   suite (equivalent to the bench harness section, at reduced effort). *)
+
+let default = [ "alu4"; "b9"; "clip"; "cm150a"; "cordic"; "parity"; "t481" ]
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> default
+    | _ :: [ "all" ] -> List.map (fun e -> e.Io.Benchmarks.name) Io.Benchmarks.table2
+    | _ :: names -> names
+  in
+  let entries =
+    List.filter_map
+      (fun n ->
+        match Io.Benchmarks.find n with
+        | Some e -> Some e
+        | None ->
+            Format.printf "unknown benchmark %s (skipped)@." n;
+            None)
+      names
+  in
+  let rows = List.map (Exp.Experiments.table2_row ~effort:15) entries in
+  Format.printf "%a@." Exp.Experiments.pp_table2 rows;
+  Format.printf
+    "Cells are measured/paper; substitutes are marked (see DESIGN.md for the@.";
+  Format.printf "substitution policy).  Run bench/main.exe for the full evaluation.@."

@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Bitvec Format Hashtbl List Logic Truth_table

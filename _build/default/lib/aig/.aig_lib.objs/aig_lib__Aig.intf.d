@@ -1,0 +1,1 @@
+lib/aig/aig.mli: Format Logic

@@ -1,0 +1,1 @@
+lib/aig/aig_balance.ml: Aig Array Hashtbl List

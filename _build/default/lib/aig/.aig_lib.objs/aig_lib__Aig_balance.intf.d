@@ -1,0 +1,1 @@
+lib/aig/aig_balance.mli: Aig

@@ -1,0 +1,1 @@
+lib/aig/aig_of_network.ml: Aig Array Cube List Logic Network Sop

@@ -1,0 +1,1 @@
+lib/aig/aig_of_network.mli: Aig Logic

@@ -1,0 +1,1 @@
+lib/aig/aig_rewrite.ml: Aig Array Hashtbl List

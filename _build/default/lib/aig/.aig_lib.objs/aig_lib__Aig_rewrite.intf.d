@@ -1,0 +1,1 @@
+lib/aig/aig_rewrite.mli: Aig

@@ -1,0 +1,59 @@
+let balance aig =
+  let fresh = Aig.create () in
+  let pis = Array.init (Aig.num_pis aig) (fun _ -> Aig.add_pi fresh) in
+  let memo = Hashtbl.create 997 in
+  let levels = Hashtbl.create 997 in
+  let level_of s =
+    match Hashtbl.find_opt levels (Aig.node_of s) with Some l -> l | None -> 0
+  in
+  (* Collect the leaves of the maximal AND tree rooted at node [n],
+     descending only through positive AND edges. *)
+  let rec leaves_of n acc =
+    let f0, f1 = Aig.fanins aig n in
+    let descend s acc =
+      if (not (Aig.is_compl s)) && Aig.kind aig (Aig.node_of s) = Aig.And then
+        leaves_of (Aig.node_of s) acc
+      else s :: acc
+    in
+    descend f0 (descend f1 acc)
+  in
+  let rec rebuild_signal s =
+    let n = Aig.node_of s in
+    let positive =
+      match Aig.kind aig n with
+      | Aig.Const -> Aig.const0
+      | Aig.Pi k -> pis.(k)
+      | Aig.And -> (
+          match Hashtbl.find_opt memo n with
+          | Some r -> r
+          | None ->
+              let leaves = leaves_of n [] in
+              let mapped = List.map rebuild_signal leaves in
+              (* Huffman-style combine: always join the two shallowest. *)
+              let sorted =
+                List.sort (fun a b -> compare (level_of a) (level_of b)) mapped
+              in
+              let rec combine = function
+                | [] -> Aig.const1
+                | [ x ] -> x
+                | x :: y :: rest ->
+                    let z = Aig.and_ fresh x y in
+                    if Aig.kind fresh (Aig.node_of z) = Aig.And then
+                      Hashtbl.replace levels (Aig.node_of z)
+                        (1 + max (level_of x) (level_of y));
+                    (* keep the list sorted by level *)
+                    let rec insert v = function
+                      | [] -> [ v ]
+                      | w :: ws when level_of w < level_of v -> w :: insert v ws
+                      | ws -> v :: ws
+                    in
+                    combine (insert z rest)
+              in
+              let r = combine sorted in
+              Hashtbl.replace memo n r;
+              r)
+    in
+    if Aig.is_compl s then Aig.not_ positive else positive
+  in
+  Array.iter (fun s -> ignore (Aig.add_po fresh (rebuild_signal s))) (Aig.pos aig);
+  fresh

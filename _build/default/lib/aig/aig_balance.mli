@@ -1,0 +1,8 @@
+(** AND-tree balancing.
+
+    Rebuilds the AIG with every maximal conjunction re-associated as a
+    minimum-depth tree (lowest-level operands combined first, Huffman
+    style).  Reduces depth, which directly reduces the step count of the
+    level-parallel variant of the AIG→RRAM baseline. *)
+
+val balance : Aig.t -> Aig.t

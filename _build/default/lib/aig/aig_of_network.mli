@@ -1,0 +1,4 @@
+(** Conversion of a {!Logic.Network.t} into an AIG (balanced n-ary folds,
+    SOP tables expanded as OR-of-ANDs). *)
+
+val convert : Logic.Network.t -> Aig.t

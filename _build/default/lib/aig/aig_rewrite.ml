@@ -1,0 +1,55 @@
+(* Two-level simplification at construction time:
+     (x·y)·x   = x·y          (absorption)
+     (x·y)·¬x  = 0            (contradiction)
+     (x·y)·(x·z) with y = ¬z  = 0
+   plus everything [Aig.and_] already handles at one level. *)
+let smart_and aig a b =
+  let gate_fanins s =
+    if (not (Aig.is_compl s)) && Aig.kind aig (Aig.node_of s) = Aig.And then
+      Some (Aig.fanins aig (Aig.node_of s))
+    else None
+  in
+  let contradiction =
+    let children s =
+      match gate_fanins s with Some (x, y) -> [ x; y ] | None -> []
+    in
+    let ca = children a and cb = children b in
+    List.exists (fun x -> x = Aig.not_ b) ca
+    || List.exists (fun x -> x = Aig.not_ a) cb
+    || List.exists (fun x -> List.mem (Aig.not_ x) cb) ca
+  in
+  if contradiction then Aig.const0
+  else
+    let absorbed =
+      match gate_fanins a with
+      | Some (x, y) when x = b || y = b -> Some a
+      | _ -> (
+          match gate_fanins b with
+          | Some (x, y) when x = a || y = a -> Some b
+          | _ -> None)
+    in
+    match absorbed with Some s -> s | None -> Aig.and_ aig a b
+
+let rewrite aig =
+  let fresh = Aig.create () in
+  let pis = Array.init (Aig.num_pis aig) (fun _ -> Aig.add_pi fresh) in
+  let memo = Hashtbl.create 997 in
+  let rec rebuild s =
+    let n = Aig.node_of s in
+    let positive =
+      match Aig.kind aig n with
+      | Aig.Const -> Aig.const0
+      | Aig.Pi k -> pis.(k)
+      | Aig.And -> (
+          match Hashtbl.find_opt memo n with
+          | Some r -> r
+          | None ->
+              let f0, f1 = Aig.fanins aig n in
+              let r = smart_and fresh (rebuild f0) (rebuild f1) in
+              Hashtbl.replace memo n r;
+              r)
+    in
+    if Aig.is_compl s then Aig.not_ positive else positive
+  in
+  Array.iter (fun s -> ignore (Aig.add_po fresh (rebuild s))) (Aig.pos aig);
+  fresh

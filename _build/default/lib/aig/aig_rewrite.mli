@@ -1,0 +1,5 @@
+(** Light local AIG rewriting: a rebuild pass applying two-level rules
+    (contradiction, absorption, idempotence through one AND level) on top of
+    structural hashing.  Sound and size-non-increasing. *)
+
+val rewrite : Aig.t -> Aig.t

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Hashtbl List Logic

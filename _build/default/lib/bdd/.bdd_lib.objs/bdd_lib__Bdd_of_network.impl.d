@@ -1,0 +1,1 @@
+lib/bdd/bdd_of_network.ml: Array Bdd Cube List Logic Network Sop

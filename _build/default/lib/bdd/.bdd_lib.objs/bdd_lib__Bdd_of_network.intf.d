@@ -1,0 +1,1 @@
+lib/bdd/bdd_of_network.mli: Bdd Logic

@@ -1,0 +1,1 @@
+lib/bdd/bdd_order.ml: Array Bdd Bdd_of_network Hashtbl List Logic Network

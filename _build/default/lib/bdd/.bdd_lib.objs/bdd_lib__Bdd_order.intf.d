@@ -1,0 +1,1 @@
+lib/bdd/bdd_order.mli: Logic

@@ -1,0 +1,1 @@
+lib/bdd/bdd_stats.ml: Array Bdd Bdd_of_network Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/bdd/bdd_stats.mli: Bdd_of_network Format

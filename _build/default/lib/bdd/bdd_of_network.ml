@@ -1,0 +1,49 @@
+open Logic
+
+type result = { manager : Bdd.t; roots : Bdd.node list; perm : int array }
+
+let build ?max_nodes ?perm net =
+  let num_in = Network.num_inputs net in
+  let perm =
+    match perm with Some p -> p | None -> Array.init num_in (fun i -> i)
+  in
+  let man = Bdd.create ?max_nodes num_in in
+  let level_of = Array.make num_in 0 in
+  Array.iteri (fun lvl input -> level_of.(input) <- lvl) perm;
+  let n = Network.num_nodes net in
+  let values = Array.make n Bdd.bfalse in
+  for id = 0 to n - 1 do
+    let fanins = Network.fanins net id in
+    let f i = values.(fanins.(i)) in
+    let fold_all op init = Array.fold_left (fun acc g -> op acc values.(g)) init fanins in
+    values.(id) <-
+      (match Network.kind net id with
+      | Network.Const b -> if b then Bdd.btrue else Bdd.bfalse
+      | Network.Input k -> Bdd.var man level_of.(k)
+      | Network.And -> fold_all (Bdd.band man) Bdd.btrue
+      | Network.Or -> fold_all (Bdd.bor man) Bdd.bfalse
+      | Network.Xor -> fold_all (Bdd.bxor man) Bdd.bfalse
+      | Network.Nand -> Bdd.bnot man (fold_all (Bdd.band man) Bdd.btrue)
+      | Network.Nor -> Bdd.bnot man (fold_all (Bdd.bor man) Bdd.bfalse)
+      | Network.Xnor -> Bdd.bnot man (fold_all (Bdd.bxor man) Bdd.bfalse)
+      | Network.Not -> Bdd.bnot man (f 0)
+      | Network.Buf -> f 0
+      | Network.Maj -> Bdd.maj3 man (f 0) (f 1) (f 2)
+      | Network.Mux -> Bdd.ite man (f 0) (f 1) (f 2)
+      | Network.Table sop ->
+          List.fold_left
+            (fun acc cube ->
+              let term =
+                List.fold_left
+                  (fun acc (v, positive) ->
+                    let lit = values.(fanins.(v)) in
+                    Bdd.band man acc (if positive then lit else Bdd.bnot man lit))
+                  Bdd.btrue (Cube.literals cube)
+              in
+              Bdd.bor man acc term)
+            Bdd.bfalse (Sop.cubes sop))
+  done;
+  let roots = List.map (fun (_, id) -> values.(id)) (Network.outputs net) in
+  { manager = man; roots; perm }
+
+let node_count r = Bdd.count_nodes r.manager r.roots

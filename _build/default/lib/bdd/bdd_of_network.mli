@@ -1,0 +1,19 @@
+(** Building BDDs from a {!Logic.Network.t}.
+
+    The permutation (level → input index) fixes the variable order; use
+    {!Bdd_order} to compute one.  Evaluation convention: an assignment on the
+    network's inputs must be translated with {!Bdd_order.apply} before
+    {!Bdd.eval}. *)
+
+type result = {
+  manager : Bdd.t;
+  roots : Bdd.node list;  (** one per network output, declaration order *)
+  perm : int array;  (** perm.(level) = input index *)
+}
+
+val build : ?max_nodes:int -> ?perm:int array -> Logic.Network.t -> result
+(** Defaults to the natural order; [max_nodes] is forwarded to
+    {!Bdd.create} (construction raises {!Bdd.Limit_exceeded} beyond it). *)
+
+val node_count : result -> int
+(** Shared node count over all roots. *)

@@ -1,0 +1,150 @@
+open Logic
+
+type heuristic = Natural | Dfs | Force of int | Sift of int | Best_of of heuristic list
+
+let natural net = Array.init (Network.num_inputs net) (fun i -> i)
+
+(* Depth-first traversal from the outputs; inputs are ordered by first
+   appearance.  Tends to keep related inputs adjacent. *)
+let dfs net =
+  let n = Network.num_nodes net in
+  let seen = Array.make n false in
+  let found = ref [] in
+  let rec visit id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      (match Network.kind net id with
+      | Network.Input k -> found := k :: !found
+      | _ -> ());
+      Array.iter visit (Network.fanins net id)
+    end
+  in
+  List.iter (fun (_, id) -> visit id) (Network.outputs net);
+  let ordered = List.rev !found in
+  let present = Hashtbl.create 17 in
+  List.iter (fun k -> Hashtbl.replace present k ()) ordered;
+  let missing =
+    List.init (Network.num_inputs net) (fun k -> k)
+    |> List.filter (fun k -> not (Hashtbl.mem present k))
+  in
+  Array.of_list (ordered @ missing)
+
+(* FORCE: place each input at the barycenter of the gates using it, iterate.
+   Gate positions are the mean of their inputs' positions. *)
+let force rounds net =
+  let num_in = Network.num_inputs net in
+  if num_in = 0 then [||]
+  else begin
+    let n = Network.num_nodes net in
+    (* support.(id) = sorted list of input indices in the cone of id *)
+    let support = Array.make n [] in
+    for id = 0 to n - 1 do
+      support.(id) <-
+        (match Network.kind net id with
+        | Network.Input k -> [ k ]
+        | Network.Const _ -> []
+        | _ ->
+            Array.fold_left
+              (fun acc f -> List.sort_uniq compare (support.(f) @ acc))
+              [] (Network.fanins net id))
+    done;
+    (* Hyperedges: the supports of all gates with 2..8 distinct inputs. *)
+    let edges =
+      let acc = ref [] in
+      for id = 0 to n - 1 do
+        match Network.kind net id with
+        | Network.Input _ | Network.Const _ -> ()
+        | _ ->
+            let s = support.(id) in
+            let len = List.length s in
+            if len >= 2 && len <= 8 then acc := s :: !acc
+      done;
+      !acc
+    in
+    let pos = Array.init num_in float_of_int in
+    for _ = 1 to rounds do
+      let sum = Array.make num_in 0.0 and cnt = Array.make num_in 0 in
+      List.iter
+        (fun edge ->
+          let center =
+            List.fold_left (fun acc k -> acc +. pos.(k)) 0.0 edge
+            /. float_of_int (List.length edge)
+          in
+          List.iter
+            (fun k ->
+              sum.(k) <- sum.(k) +. center;
+              cnt.(k) <- cnt.(k) + 1)
+            edge)
+        edges;
+      for k = 0 to num_in - 1 do
+        if cnt.(k) > 0 then pos.(k) <- sum.(k) /. float_of_int cnt.(k)
+      done;
+      (* Re-rank to integer positions. *)
+      let ranked = Array.init num_in (fun k -> k) in
+      Array.sort (fun a b -> compare pos.(a) pos.(b)) ranked;
+      Array.iteri (fun rank k -> pos.(k) <- float_of_int rank) ranked
+    done;
+    let perm = Array.init num_in (fun k -> k) in
+    Array.sort (fun a b -> compare pos.(a) pos.(b)) perm;
+    perm
+  end
+
+(* Build a trial BDD to score a permutation (used by Best_of and Sift);
+   order-hostile candidates score [max_int] instead of diverging. *)
+let build_size net perm =
+  match Bdd_of_network.build ~max_nodes:300_000 ~perm net with
+  | r -> Bdd_of_network.node_count r
+  | exception Bdd.Limit_exceeded -> max_int
+
+(* Move element at position [i] to position [j] in a permutation. *)
+let moved perm i j =
+  let v = perm.(i) in
+  let without = Array.of_list (List.filteri (fun k _ -> k <> i) (Array.to_list perm)) in
+  let before = Array.sub without 0 j in
+  let after = Array.sub without j (Array.length without - j) in
+  Array.concat [ before; [| v |]; after ]
+
+let rec order heuristic net =
+  match heuristic with
+  | Natural -> natural net
+  | Dfs -> dfs net
+  | Force rounds -> force rounds net
+  | Sift window ->
+      let start = dfs net in
+      let n = Array.length start in
+      if n > 24 || n < 3 then start
+      else begin
+        let best = ref start in
+        let best_size = ref (build_size net start) in
+        (* one pass over variables, each tried within ±window positions *)
+        for i = 0 to n - 1 do
+          for j = max 0 (i - window) to min (n - 1) (i + window) do
+            if j <> i then begin
+              let candidate = moved !best i j in
+              let size = build_size net candidate in
+              if size < !best_size then begin
+                best := candidate;
+                best_size := size
+              end
+            end
+          done
+        done;
+        !best
+      end
+  | Best_of hs -> (
+      let candidates = List.map (fun h -> order h net) hs in
+      match candidates with
+      | [] -> natural net
+      | first :: _ ->
+          if Network.num_inputs net = 0 then first
+          else
+            List.fold_left
+              (fun (best, best_size) perm ->
+                let s = build_size net perm in
+                if s < best_size then (perm, s) else (best, best_size))
+              (first, build_size net first)
+              candidates
+            |> fst)
+
+let apply perm input_assignment =
+  Array.map (fun input -> input_assignment.(input)) perm

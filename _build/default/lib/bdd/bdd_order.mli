@@ -1,0 +1,29 @@
+(** Static variable-ordering heuristics for BDD construction.
+
+    A good variable order is decisive for BDD size, and hence for the cost
+    of the BDD-based RRAM baseline.  Each heuristic returns a permutation
+    [perm] with [perm.(level) = input index]: the input placed at BDD level
+    [level]. *)
+
+type heuristic =
+  | Natural  (** declaration order *)
+  | Dfs  (** depth-first appearance order from the outputs — the classic
+             topology-driven order *)
+  | Force of int  (** FORCE (Aloul et al.): iterative barycenter relocation,
+                      with the given number of rounds *)
+  | Sift of int
+      (** rebuild-based sifting: starting from the DFS order, hill-climb by
+          moving each variable within a window of the given radius, keeping
+          the position that minimizes the shared node count.  Exact-manager
+          sifting without rebuilds is future work; this variant is
+          quadratic-ish in variable count and is gated to ≤ 24 inputs
+          (above that it falls back to DFS). *)
+  | Best_of of heuristic list
+      (** build with each and keep the smallest result *)
+
+val order : heuristic -> Logic.Network.t -> int array
+(** Compute a permutation for the network's inputs.  [Best_of] needs to
+    build trial BDDs and therefore runs the full construction internally. *)
+
+val apply : int array -> bool array -> bool array
+(** Reindex an assignment on inputs into an assignment on levels. *)

@@ -1,0 +1,31 @@
+type t = {
+  nodes : int;
+  per_level : int array;
+  widest_level : int;
+  paths_bound : float;
+}
+
+let of_result (r : Bdd_of_network.result) =
+  let per_level = Bdd.nodes_per_level r.manager r.roots in
+  let nodes = Array.fold_left ( + ) 0 per_level in
+  let widest_level = Array.fold_left max 0 per_level in
+  (* Count root-to-terminal paths (capped) as a complexity indicator. *)
+  let memo = Hashtbl.create 97 in
+  let rec paths n =
+    if Bdd.is_terminal n then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some p -> p
+      | None ->
+          let p =
+            min 1e18 (paths (Bdd.low r.manager n) +. paths (Bdd.high r.manager n))
+          in
+          Hashtbl.replace memo n p;
+          p
+  in
+  let paths_bound = List.fold_left (fun acc root -> acc +. paths root) 0.0 r.roots in
+  { nodes; per_level; widest_level; paths_bound }
+
+let pp ppf t =
+  Format.fprintf ppf "nodes=%d widest=%d paths<=%.3g" t.nodes t.widest_level
+    t.paths_bound

@@ -1,0 +1,12 @@
+(** Size and shape statistics of built BDDs, used by the baseline cost
+    reports and by EXPERIMENTS.md tables. *)
+
+type t = {
+  nodes : int;  (** shared non-terminal nodes over all roots *)
+  per_level : int array;  (** nodes per variable level *)
+  widest_level : int;  (** max of [per_level] *)
+  paths_bound : float;  (** product-free upper bound on evaluation paths *)
+}
+
+val of_result : Bdd_of_network.result -> t
+val pp : Format.formatter -> t -> unit

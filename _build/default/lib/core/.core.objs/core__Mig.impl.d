@@ -1,0 +1,1 @@
+lib/core/mig.ml: Array Format Hashtbl List

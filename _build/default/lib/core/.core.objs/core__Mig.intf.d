@@ -1,0 +1,1 @@
+lib/core/mig.mli: Format

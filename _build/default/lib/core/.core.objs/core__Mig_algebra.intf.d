@@ -1,0 +1,1 @@
+lib/core/mig_algebra.mli: Mig

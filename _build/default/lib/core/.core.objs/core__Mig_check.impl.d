@@ -1,0 +1,1 @@
+lib/core/mig_check.ml: Array Format Hashtbl List Mig String

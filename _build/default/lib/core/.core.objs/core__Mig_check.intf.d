@@ -1,0 +1,1 @@
+lib/core/mig_check.mli: Mig

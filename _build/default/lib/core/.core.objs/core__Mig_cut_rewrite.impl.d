@@ -1,0 +1,1 @@
+lib/core/mig_cut_rewrite.ml: Array Cube Espresso Hashtbl List Logic Mig Mig_cuts Npn Sop Truth_table

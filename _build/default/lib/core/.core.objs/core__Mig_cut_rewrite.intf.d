@@ -1,0 +1,1 @@
+lib/core/mig_cut_rewrite.mli: Mig

@@ -1,0 +1,1 @@
+lib/core/mig_cuts.ml: Array Hashtbl Int List Logic Mig Set Truth_table

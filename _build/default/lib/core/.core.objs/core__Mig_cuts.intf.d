@@ -1,0 +1,1 @@
+lib/core/mig_cuts.mli: Logic Mig

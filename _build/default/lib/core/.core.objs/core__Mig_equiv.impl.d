@@ -1,0 +1,1 @@
+lib/core/mig_equiv.ml: Array Bitvec List Logic Mig Mig_sim Network Prng Truth_table

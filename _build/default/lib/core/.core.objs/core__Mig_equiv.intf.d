@@ -1,0 +1,1 @@
+lib/core/mig_equiv.mli: Logic Mig

@@ -1,0 +1,1 @@
+lib/core/mig_levels.ml: Array Format List Mig

@@ -1,0 +1,1 @@
+lib/core/mig_levels.mli: Format Mig

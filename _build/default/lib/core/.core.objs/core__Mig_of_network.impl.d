@@ -1,0 +1,1 @@
+lib/core/mig_of_network.ml: Array Cube List Logic Mig Network Sop Truth_table

@@ -1,0 +1,1 @@
+lib/core/mig_of_network.mli: Logic Mig

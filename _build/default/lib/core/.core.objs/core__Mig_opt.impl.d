@@ -1,0 +1,1 @@
+lib/core/mig_opt.ml: Logs Mig Mig_cut_rewrite Mig_passes Rram_cost

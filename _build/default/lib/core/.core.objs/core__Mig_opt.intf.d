@@ -1,0 +1,1 @@
+lib/core/mig_opt.mli: Mig Rram_cost

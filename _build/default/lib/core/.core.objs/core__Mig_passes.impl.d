@@ -1,0 +1,1 @@
+lib/core/mig_passes.ml: Array Hashtbl List Logic Mig Mig_algebra Mig_levels Prng Rram_cost

@@ -1,0 +1,1 @@
+lib/core/mig_passes.mli: Mig Rram_cost

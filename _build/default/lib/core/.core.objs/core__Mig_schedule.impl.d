@@ -1,0 +1,1 @@
+lib/core/mig_schedule.ml: Array List Mig Mig_levels

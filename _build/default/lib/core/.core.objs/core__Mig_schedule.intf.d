@@ -1,0 +1,1 @@
+lib/core/mig_schedule.mli: Mig Mig_levels

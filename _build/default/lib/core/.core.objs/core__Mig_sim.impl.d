@@ -1,0 +1,1 @@
+lib/core/mig_sim.ml: Array Bitvec List Logic Mig Truth_table

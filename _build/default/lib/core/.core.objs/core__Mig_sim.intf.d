@@ -1,0 +1,1 @@
+lib/core/mig_sim.mli: Logic Mig

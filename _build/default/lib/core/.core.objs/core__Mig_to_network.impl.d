@@ -1,0 +1,1 @@
+lib/core/mig_to_network.ml: Array Hashtbl List Logic Mig Network Printf

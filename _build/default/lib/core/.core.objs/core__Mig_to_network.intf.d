@@ -1,0 +1,1 @@
+lib/core/mig_to_network.mli: Logic Mig

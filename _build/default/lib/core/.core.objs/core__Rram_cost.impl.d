@@ -1,0 +1,1 @@
+lib/core/rram_cost.ml: Array Format Mig_levels

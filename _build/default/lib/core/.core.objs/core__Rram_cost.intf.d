@@ -1,0 +1,1 @@
+lib/core/rram_cost.mli: Format Mig Mig_levels

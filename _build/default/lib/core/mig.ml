@@ -1,0 +1,269 @@
+type signal = int
+type kind = Const | Pi of int | Gate
+
+type node = {
+  mutable kind : kind;
+  mutable fanin : signal array;
+  mutable fanout : int list;
+  mutable dead : bool;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable pis : int array;
+  mutable npis : int;
+  mutable pout : signal array;
+  mutable npos : int;
+  strash : (int * int * int, int) Hashtbl.t;
+}
+
+let const0 = 0
+let const1 = 1
+let not_ s = s lxor 1
+let node_of s = s lsr 1
+let is_compl s = s land 1 = 1
+let signal_of n c = (n lsl 1) lor if c then 1 else 0
+
+let fresh_node kind = { kind; fanin = [||]; fanout = []; dead = false }
+
+let create () =
+  let t =
+    {
+      nodes = Array.make 64 (fresh_node Const);
+      n = 0;
+      pis = Array.make 8 0;
+      npis = 0;
+      pout = Array.make 8 0;
+      npos = 0;
+      strash = Hashtbl.create 997;
+    }
+  in
+  (* node 0 is the constant-false node *)
+  t.nodes.(0) <- fresh_node Const;
+  t.n <- 1;
+  t
+
+let grow arr n default =
+  if n >= Array.length arr then begin
+    let bigger = Array.make (2 * Array.length arr) default in
+    Array.blit arr 0 bigger 0 n;
+    bigger
+  end
+  else arr
+
+let push_node t node =
+  t.nodes <- grow t.nodes t.n (fresh_node Const);
+  t.nodes.(t.n) <- node;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let add_pi t =
+  let id = push_node t (fresh_node (Pi t.npis)) in
+  t.pis <- grow t.pis t.npis 0;
+  t.pis.(t.npis) <- id;
+  t.npis <- t.npis + 1;
+  signal_of id false
+
+let sort3 a b c =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  let b, c = if b <= c then (b, c) else (c, b) in
+  let a, b = if a <= b then (a, b) else (b, a) in
+  (a, b, c)
+
+(* Ω.M on a sorted triple: either the triple simplifies to a signal, or it is
+   a genuine gate over three distinct nodes.  Complementary signals of the
+   same node are adjacent integers, so checking the two adjacent pairs
+   suffices. *)
+let simplify3 a b c =
+  if a = b then Some a
+  else if b = c then Some b
+  else if a lxor b = 1 then Some c
+  else if b lxor c = 1 then Some a
+  else None
+
+let add_fanout t n f = t.nodes.(n).fanout <- f :: t.nodes.(n).fanout
+
+let remove_fanout t n f =
+  let rec drop = function
+    | [] -> []
+    | x :: rest -> if x = f then rest else x :: drop rest
+  in
+  t.nodes.(n).fanout <- drop t.nodes.(n).fanout
+
+let lookup t a b c =
+  let a, b, c = sort3 a b c in
+  match simplify3 a b c with
+  | Some s -> Some s
+  | None -> (
+      match Hashtbl.find_opt t.strash (a, b, c) with
+      | Some n when not t.nodes.(n).dead -> Some (signal_of n false)
+      | _ -> None)
+
+let maj t a b c =
+  let a, b, c = sort3 a b c in
+  match simplify3 a b c with
+  | Some s -> s
+  | None -> (
+      match Hashtbl.find_opt t.strash (a, b, c) with
+      | Some n when not t.nodes.(n).dead -> signal_of n false
+      | _ ->
+          let node = fresh_node Gate in
+          node.fanin <- [| a; b; c |];
+          let id = push_node t node in
+          Hashtbl.replace t.strash (a, b, c) id;
+          add_fanout t (node_of a) id;
+          add_fanout t (node_of b) id;
+          add_fanout t (node_of c) id;
+          signal_of id false)
+
+let and_ t a b = maj t a b const0
+let or_ t a b = maj t a b const1
+
+let xor_ t a b =
+  let nand = not_ (and_ t a b) in
+  let both = or_ t a b in
+  and_ t nand both
+
+let mux t s a b =
+  let when_true = and_ t s a in
+  let when_false = and_ t (not_ s) b in
+  or_ t when_true when_false
+
+let add_po t s =
+  t.pout <- grow t.pout t.npos 0;
+  t.pout.(t.npos) <- s;
+  t.npos <- t.npos + 1;
+  t.npos - 1
+
+let kind t n = t.nodes.(n).kind
+let num_pis t = t.npis
+let num_pos t = t.npos
+let num_nodes t = t.n
+let pi t i = signal_of t.pis.(i) false
+let po t i = t.pout.(i)
+let set_po t i s = t.pout.(i) <- s
+let pos t = Array.sub t.pout 0 t.npos
+let fanins t n = t.nodes.(n).fanin
+let fanout t n = List.filter (fun f -> not t.nodes.(f).dead) t.nodes.(n).fanout
+let fanout_size t n = List.length (fanout t n)
+let is_dead t n = t.nodes.(n).dead
+
+let po_refs t n =
+  let count = ref 0 in
+  for i = 0 to t.npos - 1 do
+    if node_of t.pout.(i) = n then incr count
+  done;
+  !count
+
+let strash_key t n =
+  let f = t.nodes.(n).fanin in
+  (f.(0), f.(1), f.(2))
+
+let unregister t n =
+  match Hashtbl.find_opt t.strash (strash_key t n) with
+  | Some m when m = n -> Hashtbl.remove t.strash (strash_key t n)
+  | _ -> ()
+
+(* Kill a gate node: drop its strash entry and detach it from its fanins'
+   fanout lists.  The fanout list of [n] itself is the caller's business.
+   Inputs and constants are never killed: substituting one merely redirects
+   its users while the node itself stays alive. *)
+let kill t n =
+  let node = t.nodes.(n) in
+  if node.kind = Gate && not node.dead then begin
+    unregister t n;
+    Array.iter (fun s -> remove_fanout t (node_of s) n) node.fanin;
+    node.dead <- true
+  end
+
+let rec substitute t n s =
+  let node = t.nodes.(n) in
+  if not node.dead then begin
+    assert (node_of s <> n);
+    for i = 0 to t.npos - 1 do
+      if node_of t.pout.(i) = n then t.pout.(i) <- s lxor (t.pout.(i) land 1)
+    done;
+    let fos = node.fanout in
+    node.fanout <- [];
+    kill t n;
+    List.iter (fun f -> if not t.nodes.(f).dead then refanin t f n s) fos
+  end
+
+(* Rewrite fanout node [f] after its fanin node [n] was replaced by [s]:
+   recompute the fanin triple, re-simplify (the replacement may collapse the
+   gate) and re-hash (the new triple may collide with an existing gate); both
+   cases cascade into a further substitution of [f] itself. *)
+and refanin t f n s =
+  let fnode = t.nodes.(f) in
+  let updated =
+    Array.map (fun g -> if node_of g = n then s lxor (g land 1) else g) fnode.fanin
+  in
+  let a, b, c = sort3 updated.(0) updated.(1) updated.(2) in
+  match simplify3 a b c with
+  | Some r -> substitute t f r
+  | None -> (
+      match Hashtbl.find_opt t.strash (a, b, c) with
+      | Some g when g <> f && not t.nodes.(g).dead -> substitute t f (signal_of g false)
+      | _ ->
+          unregister t f;
+          Array.iter
+            (fun g -> if node_of g <> n then remove_fanout t (node_of g) f)
+            fnode.fanin;
+          fnode.fanin <- [| a; b; c |];
+          Hashtbl.replace t.strash (a, b, c) f;
+          Array.iter (fun g -> add_fanout t (node_of g) f) fnode.fanin)
+
+let topo_order t =
+  let visited = Array.make t.n false in
+  let order = ref [] in
+  let rec visit n =
+    if not visited.(n) then begin
+      visited.(n) <- true;
+      let node = t.nodes.(n) in
+      match node.kind with
+      | Const | Pi _ -> ()
+      | Gate ->
+          Array.iter (fun s -> visit (node_of s)) node.fanin;
+          order := n :: !order
+    end
+  in
+  for i = 0 to t.npos - 1 do
+    visit (node_of t.pout.(i))
+  done;
+  List.rev !order
+
+let size t = List.length (topo_order t)
+
+let foreach_gate t f =
+  let order = topo_order t in
+  List.iter (fun n -> if not t.nodes.(n).dead then f n) order
+
+let cleanup t =
+  let fresh = create () in
+  let map = Array.make t.n (-1) in
+  map.(0) <- 0;
+  for i = 0 to t.npis - 1 do
+    map.(t.pis.(i)) <- node_of (add_pi fresh)
+  done;
+  let rec copy n =
+    if map.(n) >= 0 then map.(n)
+    else begin
+      let node = t.nodes.(n) in
+      let f s = signal_of (copy (node_of s)) (is_compl s) in
+      let s = maj fresh (f node.fanin.(0)) (f node.fanin.(1)) (f node.fanin.(2)) in
+      (* A live gate triple cannot simplify, and strashing in the fresh graph
+         only merges identical gates, so the copy is a positive signal. *)
+      assert (not (is_compl s));
+      map.(n) <- node_of s;
+      map.(n)
+    end
+  in
+  for i = 0 to t.npos - 1 do
+    let s = t.pout.(i) in
+    ignore (add_po fresh (signal_of (copy (node_of s)) (is_compl s)))
+  done;
+  fresh
+
+let pp_stats ppf t =
+  Format.fprintf ppf "pis=%d pos=%d gates=%d" t.npis t.npos (size t)

@@ -1,0 +1,113 @@
+(** Majority-Inverter Graphs (MIGs).
+
+    A MIG is a DAG whose internal nodes are 3-input majority gates and whose
+    edges may carry complement attributes (Amarù et al., DAC 2014).  This
+    module provides the node store: structural hashing, fanout tracking, node
+    substitution with cascading re-normalization, and mark-and-compact
+    cleanup.  The Ω/Ψ rewrite rules live in {!Mig_algebra}; whole-graph
+    passes in {!Mig_passes}.
+
+    Signals are integers [2*node + complement]; the node with index 0 is the
+    constant-false node, so [const0 = 0] and [const1 = 1].  Structural
+    hashing keys on the *sorted fanin triple with polarities*: no polarity
+    canonicalization is performed, because the placement of complement
+    attributes is itself an optimization dimension for RRAM mapping (each
+    complemented edge costs one RRAM and contributes to the step count). *)
+
+type t
+
+type signal = int
+
+(** {1 Signals} *)
+
+val const0 : signal
+val const1 : signal
+val not_ : signal -> signal
+val node_of : signal -> int
+val is_compl : signal -> bool
+val signal_of : int -> bool -> signal
+(** [signal_of node compl]. *)
+
+(** {1 Construction} *)
+
+val create : unit -> t
+
+val add_pi : t -> signal
+(** Append a primary input; returns its (positive) signal. *)
+
+val maj : t -> signal -> signal -> signal -> signal
+(** Structural-hashed majority node creation.  Applies the Ω.M simplification
+    rules [M(x,x,z) = x] and [M(x,¬x,z) = z] eagerly, so the returned signal
+    may not be a fresh node. *)
+
+val and_ : t -> signal -> signal -> signal
+(** [M(a, b, 0)]. *)
+
+val or_ : t -> signal -> signal -> signal
+(** [M(a, b, 1)]. *)
+
+val xor_ : t -> signal -> signal -> signal
+(** Three majority nodes. *)
+
+val mux : t -> signal -> signal -> signal -> signal
+(** [mux s a b] = if [s] then [a] else [b]; three majority nodes. *)
+
+val add_po : t -> signal -> int
+(** Append a primary output; returns its index. *)
+
+(** {1 Inspection} *)
+
+type kind = Const | Pi of int | Gate
+
+val kind : t -> int -> kind
+val num_pis : t -> int
+val num_pos : t -> int
+val num_nodes : t -> int
+(** Allocated node records, including dead ones (an upper bound on ids). *)
+
+val size : t -> int
+(** Number of live majority gates reachable from the outputs. *)
+
+val pi : t -> int -> signal
+val po : t -> int -> signal
+val set_po : t -> int -> signal -> unit
+val pos : t -> signal array
+val fanins : t -> int -> signal array
+(** The three fanin signals of a gate (sorted ascending); [[||]] for
+    constants and inputs. *)
+
+val fanout : t -> int -> int list
+(** Live gate nodes that use this node as a fanin. *)
+
+val fanout_size : t -> int -> int
+val po_refs : t -> int -> int
+(** How many primary outputs are driven (possibly complemented) by the
+    node. *)
+
+val is_dead : t -> int -> bool
+
+val lookup : t -> signal -> signal -> signal -> signal option
+(** Structural-hash lookup without creating: the signal an equivalent
+    majority node would return, if one already exists or the triple
+    simplifies. *)
+
+(** {1 Rewriting support} *)
+
+val substitute : t -> int -> signal -> unit
+(** [substitute t n s] replaces node [n] by signal [s] everywhere (fanouts
+    and outputs), cascading the re-normalization of affected fanout nodes
+    (majority-rule simplification and strash merging).  [s]'s cone must not
+    contain [n]. *)
+
+val cleanup : t -> t
+(** Compacted copy containing only nodes reachable from the outputs, in
+    topological order.  Primary inputs and outputs keep their indices. *)
+
+val topo_order : t -> int list
+(** Live gate nodes reachable from the outputs, fanins before fanouts. *)
+
+val foreach_gate : t -> (int -> unit) -> unit
+(** Iterate {!topo_order} (snapshot taken before the first call, so the
+    callback may rewrite the graph). *)
+
+val pp_stats : Format.formatter -> t -> unit

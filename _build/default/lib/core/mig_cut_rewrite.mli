@@ -1,0 +1,16 @@
+(** Cut-based Boolean rewriting (extension beyond the paper).
+
+    The paper's algorithms are {e algebraic} — they apply the Ω/Ψ identities
+    to the existing structure.  This pass is {e Boolean}: for every 4-input
+    cut it computes the cut function, canonizes it under NPN, resynthesizes
+    the canonical class once (espresso-minimized SOP, built as a balanced
+    MIG) and replaces the cut's maximal fanout-free cone whenever the
+    resynthesized implementation is strictly smaller.  Function preservation
+    is property-checked like every other pass.
+
+    Typical use: an area post-pass after the paper's algorithms
+    ([Mig_opt.run] stays faithful to the paper; the CLI exposes this as the
+    extra algorithm [bool-rewrite]). *)
+
+val rewrite : ?k:int -> ?passes:int -> Mig.t -> Mig.t
+(** Size-oriented Boolean rewriting; returns a compacted equivalent MIG. *)

@@ -1,0 +1,34 @@
+(** k-feasible cut enumeration on MIGs.
+
+    A cut of gate [g] is a set of nodes (its {e leaves}) such that every
+    path from the inputs to [g] passes through a leaf; [k]-feasible means at
+    most [k] leaves.  Cuts are enumerated bottom-up by merging fanin cut
+    sets, pruning dominated cuts (supersets of another cut) and keeping at
+    most [max_cuts] per gate (smallest first) — the standard network-flow
+    folklore algorithm.
+
+    The cut function (truth table over the leaves, in leaf order) drives the
+    Boolean rewriting of {!Mig_cut_rewrite}. *)
+
+type cut = int array
+(** Sorted node ids. *)
+
+type t
+(** Cut sets for every live gate of one MIG snapshot. *)
+
+val enumerate : ?k:int -> ?max_cuts:int -> Mig.t -> t
+(** Defaults: [k = 4], [max_cuts = 12].  The trivial cut [{g}] is included
+    for gates but not returned by {!cuts_of}. *)
+
+val cuts_of : t -> int -> cut list
+(** Non-trivial cuts of a gate (each with ≥ 2 leaves, ≤ k). *)
+
+val cut_function : Mig.t -> int -> cut -> Logic.Truth_table.t
+(** Truth table of gate [g] over the cut leaves (variable [i] = leaf [i]). *)
+
+val cone_nodes : Mig.t -> int -> cut -> int list
+(** Gates strictly inside the cut (between leaves and root, root included). *)
+
+val mffc_size : Mig.t -> int -> cut -> int
+(** Gates of the cone that would die if the root were removed (every fanout
+    path stays inside the cone) — the nodes a rewrite can actually save. *)

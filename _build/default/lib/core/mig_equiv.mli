@@ -1,0 +1,19 @@
+(** Equivalence checking between MIGs (and against networks).
+
+    Exact (exhaustive truth tables) for ≤ {!exact_limit} inputs; above that,
+    seeded random-vector simulation with a configurable number of 64-bit
+    rounds.  Random checking can of course only refute; the test-suite uses
+    the exact mode wherever sizes allow. *)
+
+val exact_limit : int
+(** 14 inputs (16 K minterms per output). *)
+
+val equivalent : ?rounds:int -> ?seed:int -> Mig.t -> Mig.t -> bool
+(** Same number of inputs and outputs and (exactly, or with high confidence)
+    the same functions. *)
+
+val equivalent_network : ?rounds:int -> ?seed:int -> Mig.t -> Logic.Network.t -> bool
+(** Check a MIG against the network it was derived from. *)
+
+val counterexample : ?rounds:int -> ?seed:int -> Mig.t -> Mig.t -> bool array option
+(** A distinguishing input vector, if one is found. *)

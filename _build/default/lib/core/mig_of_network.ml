@@ -1,0 +1,68 @@
+open Logic
+
+(* Balanced fold keeps tree depth logarithmic in the operand count. *)
+let rec balanced_fold f = function
+  | [] -> invalid_arg "Mig_of_network: empty operand list"
+  | [ x ] -> x
+  | xs ->
+      let rec split acc k = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (x :: acc) (k - 1) rest
+        | [] -> (List.rev acc, [])
+      in
+      let half = List.length xs / 2 in
+      let left, right = split [] half xs in
+      f (balanced_fold f left) (balanced_fold f right)
+
+let signal_of_sop mig sop literal_signal =
+  let cube_signal cube =
+    match Cube.literals cube with
+    | [] -> Mig.const1
+    | lits ->
+        balanced_fold (Mig.and_ mig)
+          (List.map (fun (v, pos) ->
+               let s = literal_signal v in
+               if pos then s else Mig.not_ s)
+             lits)
+  in
+  match Sop.cubes sop with
+  | [] -> Mig.const0
+  | cubes -> balanced_fold (Mig.or_ mig) (List.map cube_signal cubes)
+
+let convert net =
+  let mig = Mig.create () in
+  let pi_signals = Array.init (Network.num_inputs net) (fun _ -> Mig.add_pi mig) in
+  let n = Network.num_nodes net in
+  let signals = Array.make n Mig.const0 in
+  for id = 0 to n - 1 do
+    let f i = signals.((Network.fanins net id).(i)) in
+    let all () = Array.to_list (Array.map (fun g -> signals.(g)) (Network.fanins net id)) in
+    signals.(id) <-
+      (match Network.kind net id with
+      | Network.Const b -> if b then Mig.const1 else Mig.const0
+      | Network.Input k -> pi_signals.(k)
+      | Network.And -> balanced_fold (Mig.and_ mig) (all ())
+      | Network.Or -> balanced_fold (Mig.or_ mig) (all ())
+      | Network.Xor -> balanced_fold (Mig.xor_ mig) (all ())
+      | Network.Nand -> Mig.not_ (balanced_fold (Mig.and_ mig) (all ()))
+      | Network.Nor -> Mig.not_ (balanced_fold (Mig.or_ mig) (all ()))
+      | Network.Xnor -> Mig.not_ (balanced_fold (Mig.xor_ mig) (all ()))
+      | Network.Not -> Mig.not_ (f 0)
+      | Network.Buf -> f 0
+      | Network.Maj -> Mig.maj mig (f 0) (f 1) (f 2)
+      | Network.Mux -> Mig.mux mig (f 0) (f 1) (f 2)
+      | Network.Table sop ->
+          let fanins = Network.fanins net id in
+          signal_of_sop mig sop (fun v -> signals.(fanins.(v))))
+  done;
+  List.iter (fun (_, id) -> ignore (Mig.add_po mig signals.(id))) (Network.outputs net);
+  mig
+
+let of_truth_table tt =
+  let n = Truth_table.num_vars tt in
+  let sop = Sop.of_truth_table tt in
+  let mig = Mig.create () in
+  let pis = Array.init n (fun _ -> Mig.add_pi mig) in
+  let s = signal_of_sop mig sop (fun v -> pis.(v)) in
+  ignore (Mig.add_po mig s);
+  mig

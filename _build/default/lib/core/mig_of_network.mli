@@ -1,0 +1,12 @@
+(** Conversion of a {!Logic.Network.t} into a MIG.
+
+    AND/OR become single majority nodes with a constant third fanin; XOR and
+    MUX expand to three nodes; n-ary gates fold as balanced trees to keep the
+    initial depth low; [Table] gates expand their SOP cover as a balanced
+    OR-of-ANDs. *)
+
+val convert : Logic.Network.t -> Mig.t
+
+val of_truth_table : Logic.Truth_table.t -> Mig.t
+(** Single-output MIG from a truth table via its minimized SOP cover
+    (Shannon-style; intended for small functions and tests). *)

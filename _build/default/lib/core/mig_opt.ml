@@ -1,0 +1,100 @@
+let default_effort = 40
+
+let src = Logs.Src.create "mig.opt" ~doc:"MIG optimization cycle progress"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Run [cycle] up to [effort] times on compacted copies, stopping early when
+   a cycle reports no change. *)
+let drive ?(effort = default_effort) cycle finish mig =
+  let current = ref (Mig.cleanup mig) in
+  let continue_ = ref true in
+  let n = ref 0 in
+  while !continue_ && !n < effort do
+    let changed = cycle !n !current in
+    current := Mig.cleanup !current;
+    Log.debug (fun m ->
+        let size, depth = Mig_passes.size_and_depth !current in
+        m "cycle %d: %d gates, depth %d%s" !n size depth
+          (if changed then "" else " (converged)"));
+    if not changed then continue_ := false;
+    incr n
+  done;
+  ignore (finish !current);
+  Mig.cleanup !current
+
+let area ?effort mig =
+  drive ?effort
+    (fun cycle m ->
+      let c1 = Mig_passes.eliminate m in
+      let c2 = Mig_passes.reshape ~seed:(0x5EED + cycle) m in
+      let c3 = Mig_passes.eliminate m in
+      c1 || c2 || c3)
+    Mig_passes.eliminate mig
+
+let depth ?effort mig =
+  (* Conventional depth optimization: no Ω.I in the paper's Alg. 2, so its
+     push-up cannot look through complemented edges. *)
+  let push_up = Mig_passes.push_up ~through_compl:false in
+  drive ?effort
+    (fun cycle m ->
+      let c1 = push_up m in
+      (* Ψ.R rebuilds reconvergent cones and rarely converges on its own, so
+         it is throttled to every third cycle to stay within the paper's
+         interactive-runtime envelope. *)
+      let c2 = if cycle mod 3 = 0 then Mig_passes.relevance m else false in
+      let c3 = push_up m in
+      c1 || c2 || c3)
+    push_up mig
+
+let rram_costs ?effort realization mig =
+  let push_up = Mig_passes.push_up ~fanout_limit:2 in
+  drive ?effort
+    (fun _ m ->
+      let c1 = push_up m in
+      let c2 = Mig_passes.compl_prop (Mig_passes.Weighted realization) m in
+      let c3 = push_up m in
+      let c4 = Mig_passes.balance m in
+      c1 || c2 || c3 || c4)
+    push_up mig
+
+let steps ?effort mig =
+  drive ?effort
+    (fun _ m ->
+      let c1 = Mig_passes.push_up m in
+      let c2 = Mig_passes.compl_prop ~min_compl:3 Mig_passes.Always m in
+      let c3 = Mig_passes.compl_prop ~min_compl:2 Mig_passes.Always m in
+      let c4 = Mig_passes.push_up m in
+      c1 || c2 || c3 || c4)
+    Mig_passes.push_up mig
+
+let boolean ?effort mig =
+  (* extension: the paper's area algorithm followed by NPN-cached cut-based
+     Boolean rewriting (Mig_cut_rewrite) and a final algebraic clean-up *)
+  let algebraic = area ?effort mig in
+  let rewritten = Mig_cut_rewrite.rewrite algebraic in
+  ignore (Mig_passes.eliminate rewritten);
+  Mig.cleanup rewritten
+
+type algorithm =
+  | Area
+  | Depth
+  | Rram_costs of Rram_cost.realization
+  | Steps
+  | Boolean  (** extension: area + cut-based Boolean rewriting *)
+
+let run ?effort alg mig =
+  match alg with
+  | Area -> area ?effort mig
+  | Depth -> depth ?effort mig
+  | Rram_costs r -> rram_costs ?effort r mig
+  | Steps -> steps ?effort mig
+  | Boolean -> boolean ?effort mig
+
+let algorithm_name = function
+  | Area -> "area"
+  | Depth -> "depth"
+  | Rram_costs Rram_cost.Imp -> "rram-costs-imp"
+  | Rram_costs Rram_cost.Maj -> "rram-costs-maj"
+  | Steps -> "steps"
+  | Boolean -> "bool-rewrite"

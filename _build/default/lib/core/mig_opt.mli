@@ -1,0 +1,42 @@
+(** The four MIG optimization algorithms of the paper (Algs. 1–4).
+
+    Every optimizer is functional: it copies its input (via
+    {!Mig.cleanup}-style compaction between cycles) and returns a new,
+    logically equivalent MIG.  [effort] is the cycle count of the outer
+    loop; the paper uses 40.  All algorithms stop early when a full cycle
+    leaves the graph unchanged. *)
+
+val default_effort : int
+(** 40, the paper's setting. *)
+
+val area : ?effort:int -> Mig.t -> Mig.t
+(** Alg. 1 — conventional area optimization:
+    per cycle \[eliminate; reshape; eliminate\], final eliminate. *)
+
+val depth : ?effort:int -> Mig.t -> Mig.t
+(** Alg. 2 — conventional depth optimization:
+    per cycle \[push-up; Ψ.R; push-up\], final push-up. *)
+
+val rram_costs : ?effort:int -> Rram_cost.realization -> Mig.t -> Mig.t
+(** Alg. 3 — multi-objective optimization of the (RRAM count, step count)
+    pair: per cycle \[push-up; Ω.I(1–3) with weighted-gain acceptance;
+    push-up; balance\], final push-up.  The realization fixes the constants
+    of the cost model used in the acceptance test. *)
+
+val steps : ?effort:int -> Mig.t -> Mig.t
+(** Alg. 4 — step-count optimization:
+    per cycle \[push-up; Ω.I case (1); Ω.I(1–3); push-up\], final push-up. *)
+
+val boolean : ?effort:int -> Mig.t -> Mig.t
+(** Extension (not in the paper): Alg. 1 followed by NPN-cached cut-based
+    Boolean rewriting ({!Mig_cut_rewrite}) and a final eliminate. *)
+
+type algorithm =
+  | Area
+  | Depth
+  | Rram_costs of Rram_cost.realization
+  | Steps
+  | Boolean  (** extension: area + cut-based Boolean rewriting *)
+
+val run : ?effort:int -> algorithm -> Mig.t -> Mig.t
+val algorithm_name : algorithm -> string

@@ -1,0 +1,137 @@
+open Logic
+
+let sweep mig rule =
+  let changed = ref false in
+  Mig.foreach_gate mig (fun g ->
+      if (not (Mig.is_dead mig g)) && rule g then changed := true);
+  !changed
+
+let repeat_until_stable ?(max_iters = 4) pass mig =
+  let changed = ref false in
+  let continue_ = ref true in
+  let iters = ref 0 in
+  while !continue_ && !iters < max_iters do
+    incr iters;
+    if pass mig then changed := true else continue_ := false
+  done;
+  !changed
+
+let eliminate mig =
+  repeat_until_stable (fun m -> sweep m (Mig_algebra.try_distributivity_rl m)) mig
+
+let reshape ~seed mig =
+  let rng = Prng.create seed in
+  let cache = Mig_algebra.Level_cache.make mig in
+  sweep mig (fun g ->
+      if Prng.bool rng then
+        Mig_algebra.try_compl_assoc ~through_compl:false ~fanout_limit:1 mig cache g
+      else
+        Mig_algebra.try_associativity ~strict:false ~through_compl:false
+          ~fanout_limit:1 mig cache g)
+
+let push_up ?(through_compl = true) ?(fanout_limit = max_int) mig =
+  let one m =
+    let cache = Mig_algebra.Level_cache.make m in
+    sweep m (fun g ->
+        Mig_algebra.try_distributivity_lr ~through_compl ~fanout_limit m cache g
+        || Mig_algebra.try_associativity ~through_compl ~fanout_limit m cache g
+        || Mig_algebra.try_compl_assoc ~through_compl ~fanout_limit m cache g)
+  in
+  repeat_until_stable ~max_iters:2 one mig
+
+let relevance mig =
+  let cache = Mig_algebra.Level_cache.make mig in
+  sweep mig (Mig_algebra.try_relevance mig cache)
+
+type compl_criterion = Always | Weighted of Rram_cost.realization
+
+let compl_prop ?(min_compl = 2) criterion mig =
+  let lv = Mig_levels.compute mig in
+  let cache = Mig_algebra.Level_cache.make mig in
+  let depth = lv.Mig_levels.depth in
+  (* Working copies of the Table I statistics, updated as flips are applied;
+     node levels are invariant under Ω.I so the level cache stays valid. *)
+  let ncomp = Array.copy lv.Mig_levels.compl_per_level in
+  let ngates = lv.Mig_levels.gates_per_level in
+  let gate_count l = if l >= 0 && l < Array.length ngates then ngates.(l) else 0 in
+  let compl_count l = if l >= 0 && l < Array.length ncomp then ncomp.(l) else 0 in
+  let cost_of comp_arr realization =
+    let k_r = Rram_cost.rrams_per_gate realization in
+    let k_s = Rram_cost.steps_per_level realization in
+    let rrams = ref 0 and levels_with = ref 0 in
+    for i = 0 to depth + 1 do
+      let c = if i < Array.length comp_arr then comp_arr.(i) else 0 in
+      rrams := max !rrams ((k_r * gate_count i) + c);
+      if c > 0 then incr levels_with
+    done;
+    { Rram_cost.rrams = !rrams; steps = (k_s * depth) + !levels_with }
+  in
+  let changed = ref false in
+  Mig.foreach_gate mig (fun g ->
+      if (not (Mig.is_dead mig g)) && Mig_algebra.compl_fanins mig g >= min_compl
+      then begin
+        let lg = Mig_algebra.Level_cache.node_level cache mig g in
+        (* Per-level complement deltas caused by flipping g. *)
+        let deltas = Hashtbl.create 7 in
+        let bump l d =
+          Hashtbl.replace deltas l (d + try Hashtbl.find deltas l with Not_found -> 0)
+        in
+        let const_fanins = ref 0 in
+        Array.iter
+          (fun s ->
+            if Mig.node_of s = 0 then incr const_fanins
+            else if Mig.is_compl s then bump lg (-1)
+            else bump lg 1)
+          (Mig.fanins mig g);
+        List.iter
+          (fun h ->
+            let lh = Mig_algebra.Level_cache.node_level cache mig h in
+            Array.iter
+              (fun s ->
+                if Mig.node_of s = g then bump lh (if Mig.is_compl s then -1 else 1))
+              (Mig.fanins mig h))
+          (Mig.fanout mig g);
+        Array.iter
+          (fun s ->
+            if Mig.node_of s = g then
+              bump (depth + 1) (if Mig.is_compl s then -1 else 1))
+          (Mig.pos mig);
+        let accept =
+          match criterion with
+          | Always -> true
+          | Weighted realization ->
+              let trial = Array.copy ncomp in
+              Hashtbl.iter
+                (fun l d ->
+                  if l >= 0 && l < Array.length trial then trial.(l) <- trial.(l) + d)
+                deltas;
+              let before = cost_of ncomp realization in
+              let after = cost_of trial realization in
+              Rram_cost.weighted after < Rram_cost.weighted before
+              || (after.Rram_cost.steps = before.Rram_cost.steps
+                  && after.Rram_cost.rrams <= before.Rram_cost.rrams
+                  && compl_count lg > 0)
+        in
+        if accept && Mig_algebra.try_compl_prop ~min_compl mig g then begin
+          changed := true;
+          Hashtbl.iter
+            (fun l d ->
+              if l >= 0 && l < Array.length ncomp then
+                ncomp.(l) <- max 0 (ncomp.(l) + d))
+            deltas
+        end
+      end);
+  !changed
+
+let balance mig =
+  let cache = Mig_algebra.Level_cache.make mig in
+  let assoc_changed =
+    sweep mig (fun g ->
+        Mig_algebra.try_associativity ~strict:false ~fanout_limit:1 mig cache g)
+  in
+  let elim_changed = eliminate mig in
+  assoc_changed || elim_changed
+
+let size_and_depth mig =
+  let lv = Mig_levels.compute mig in
+  (List.length lv.Mig_levels.order, lv.Mig_levels.depth)

@@ -1,0 +1,40 @@
+(** Whole-graph rewriting passes built from the {!Mig_algebra} rules.
+
+    Each pass sweeps the live gates (snapshot taken up front, in topological
+    order) once and returns [true] if it changed the graph.  The composite
+    algorithms of the paper (Algs. 1–4) are assembled from these passes in
+    {!Mig_opt}. *)
+
+val eliminate : Mig.t -> bool
+(** Ω.M + Ω.D right-to-left sweeps, repeated to a (bounded) fixpoint —
+    the node-count reduction engine of Alg. 1. *)
+
+val reshape : seed:int -> Mig.t -> bool
+(** Ω.A + Ψ.C level-preserving perturbation (seeded random subset of
+    applicable moves) to expose new elimination opportunities. *)
+
+val push_up : ?through_compl:bool -> ?fanout_limit:int -> Mig.t -> bool
+(** The depth-reduction engine: Ω.M; Ω.D left-to-right; Ω.A; Ψ.C applied to
+    critical-path gates, accepting only level-reducing rewrites.
+    [fanout_limit] bounds the sharing of gates that may be duplicated by a
+    rewrite; the multi-objective algorithm uses a small limit to keep level
+    widths (hence RRAM counts) from growing. *)
+
+val relevance : Mig.t -> bool
+(** One Ψ.R sweep (bounded-cone reconvergence substitution). *)
+
+type compl_criterion =
+  | Always  (** apply unconditionally (Alg. 4) *)
+  | Weighted of Rram_cost.realization
+      (** accept only moves that do not worsen the weighted (R, S) cost
+          under the given realization (Alg. 3) *)
+
+val compl_prop : ?min_compl:int -> compl_criterion -> Mig.t -> bool
+(** Ω.I right-to-left sweep over gates with ≥ [min_compl] (default 2)
+    complemented fanins; see {!Mig_algebra.try_compl_prop}. *)
+
+val balance : Mig.t -> bool
+(** Trailing Ω.A; Ω.D right-to-left combination of Alg. 3 that undoes
+    level-size growth introduced by push-up. *)
+
+val size_and_depth : Mig.t -> int * int

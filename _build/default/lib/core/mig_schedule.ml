@@ -1,0 +1,92 @@
+let asap = Mig_levels.compute
+
+let alap_array mig =
+  let lv = Mig_levels.compute mig in
+  let depth = lv.Mig_levels.depth in
+  let n = Mig.num_nodes mig in
+  let alap = Array.make n depth in
+  (* reverse topological pass: each gate must finish before its earliest
+     consumer; output drivers may sit anywhere up to the depth *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun h -> if alap.(h) - 1 < alap.(g) then alap.(g) <- alap.(h) - 1)
+        (Mig.fanout mig g))
+    (List.rev lv.Mig_levels.order);
+  (lv, alap)
+
+let alap mig =
+  let lv, alap = alap_array mig in
+  let level = Array.copy lv.Mig_levels.level in
+  List.iter (fun g -> level.(g) <- alap.(g)) lv.Mig_levels.order;
+  Mig_levels.of_level_assignment mig level
+
+let balanced mig =
+  let lv, alap = alap_array mig in
+  let depth = lv.Mig_levels.depth in
+  let order = lv.Mig_levels.order in
+  let total = List.length order in
+  if depth = 0 then lv
+  else begin
+    let target = max 1 ((total + depth - 1) / depth) in
+    let n = Mig.num_nodes mig in
+    let assigned = Array.make n 0 in
+    let pending_fanins = Array.make n 0 in
+    List.iter
+      (fun g ->
+        Array.iter
+          (fun s ->
+            if Mig.kind mig (Mig.node_of s) = Mig.Gate then
+              pending_fanins.(g) <- pending_fanins.(g) + 1)
+          (Mig.fanins mig g))
+      order;
+    (* ready gates grouped by urgency (alap) *)
+    let scheduled = Array.make n false in
+    let ready = ref [] in
+    List.iter (fun g -> if pending_fanins.(g) = 0 then ready := g :: !ready) order;
+    for l = 1 to depth do
+      (* urgency order: smallest alap first *)
+      let sorted = List.sort (fun a b -> compare alap.(a) alap.(b)) !ready in
+      let batch = ref [] and deferred = ref [] and count = ref 0 in
+      List.iter
+        (fun g ->
+          if alap.(g) <= l || !count < target then begin
+            batch := g :: !batch;
+            incr count
+          end
+          else deferred := g :: !deferred)
+        sorted;
+      List.iter
+        (fun g ->
+          assigned.(g) <- l;
+          scheduled.(g) <- true)
+        !batch;
+      (* release consumers whose fanins are now all scheduled *)
+      ready := !deferred;
+      List.iter
+        (fun g ->
+          List.iter
+            (fun h ->
+              if not scheduled.(h) then begin
+                pending_fanins.(h) <- pending_fanins.(h) - 1;
+                if pending_fanins.(h) = 0 then ready := h :: !ready
+              end)
+            (Mig.fanout mig g))
+        !batch
+    done;
+    (* anything left (should not happen) falls back to ASAP *)
+    List.iter
+      (fun g -> if not scheduled.(g) then assigned.(g) <- lv.Mig_levels.level.(g))
+      order;
+    Mig_levels.of_level_assignment mig assigned
+  end
+
+let is_valid mig (lv : Mig_levels.t) =
+  List.for_all
+    (fun g ->
+      Array.for_all
+        (fun s ->
+          let h = Mig.node_of s in
+          lv.Mig_levels.level.(h) < lv.Mig_levels.level.(g))
+        (Mig.fanins mig g))
+    lv.Mig_levels.order

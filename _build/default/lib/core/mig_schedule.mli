@@ -1,0 +1,25 @@
+(** Level scheduling for the RRAM mapping.
+
+    The Table I cost model charges [R = max_i (K·N_i + C_i)] where [N_i] is
+    the number of gates {e evaluated} in step-group [i].  The paper uses the
+    structural ASAP levels, but any assignment that respects dependencies
+    and keeps the same depth yields the same step count [K·D + L] while
+    potentially balancing the level widths — a free RRAM-count reduction.
+
+    {!balanced} implements slack-based list scheduling: gates forced by
+    their ALAP level go first, remaining slack-y gates fill levels up to a
+    uniform width target (most-urgent first).  The result is returned in
+    the {!Mig_levels.t} shape, so {!Rram_cost.of_levels} and the program
+    compiler consume it unchanged. *)
+
+val asap : Mig.t -> Mig_levels.t
+(** The structural levels (alias of {!Mig_levels.compute}). *)
+
+val alap : Mig.t -> Mig_levels.t
+(** Latest feasible levels at the ASAP depth. *)
+
+val balanced : Mig.t -> Mig_levels.t
+(** Slack-based width smoothing; never deeper than ASAP. *)
+
+val is_valid : Mig.t -> Mig_levels.t -> bool
+(** Every gate strictly above its fanins, outputs within depth. *)

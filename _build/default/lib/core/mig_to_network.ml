@@ -1,0 +1,33 @@
+open Logic
+
+let export mig =
+  let net = Network.create () in
+  let map = Hashtbl.create 97 in
+  Hashtbl.replace map 0 (Network.const net false);
+  for i = 0 to Mig.num_pis mig - 1 do
+    Hashtbl.replace map
+      (Mig.node_of (Mig.pi mig i))
+      (Network.add_input net (Printf.sprintf "x%d" i))
+  done;
+  (* Share inverters: one NOT gate per complemented node occurrence. *)
+  let inverters = Hashtbl.create 97 in
+  let value s =
+    let id = Hashtbl.find map (Mig.node_of s) in
+    if not (Mig.is_compl s) then id
+    else
+      match Hashtbl.find_opt inverters id with
+      | Some inv -> inv
+      | None ->
+          let inv = Network.not_ net id in
+          Hashtbl.replace inverters id inv;
+          inv
+  in
+  List.iter
+    (fun g ->
+      let f = Mig.fanins mig g in
+      Hashtbl.replace map g (Network.maj net (value f.(0)) (value f.(1)) (value f.(2))))
+    (Mig.topo_order mig);
+  Array.iteri
+    (fun i s -> Network.add_output net (Printf.sprintf "y%d" i) (value s))
+    (Mig.pos mig);
+  net

@@ -1,0 +1,5 @@
+(** Export a MIG back to the generic netlist IR (majority gates plus
+    explicit inverters), so optimized results can be written to any of the
+    supported file formats. *)
+
+val export : Mig.t -> Logic.Network.t

@@ -1,0 +1,31 @@
+type realization = Imp | Maj
+
+let rrams_per_gate = function Imp -> 6 | Maj -> 4
+let steps_per_level = function Imp -> 10 | Maj -> 3
+
+type cost = { rrams : int; steps : int }
+
+let of_levels realization (lv : Mig_levels.t) =
+  let k_r = rrams_per_gate realization in
+  let k_s = steps_per_level realization in
+  let rrams = ref 0 in
+  for i = 0 to lv.Mig_levels.depth + 1 do
+    let ni = if i < Array.length lv.gates_per_level then lv.gates_per_level.(i) else 0 in
+    let ci = if i < Array.length lv.compl_per_level then lv.compl_per_level.(i) else 0 in
+    rrams := max !rrams ((k_r * ni) + ci)
+  done;
+  let steps = (k_s * lv.depth) + Mig_levels.num_levels_with_compl lv in
+  { rrams = !rrams; steps }
+
+let of_mig realization mig = of_levels realization (Mig_levels.compute mig)
+
+let pareto_better a b =
+  a.rrams <= b.rrams && a.steps <= b.steps && (a.rrams < b.rrams || a.steps < b.steps)
+
+let weighted ?(step_weight = 4.0) c = float_of_int c.rrams +. (step_weight *. float_of_int c.steps)
+
+let pp ppf c = Format.fprintf ppf "R=%d S=%d" c.rrams c.steps
+
+let pp_realization ppf = function
+  | Imp -> Format.pp_print_string ppf "IMP"
+  | Maj -> Format.pp_print_string ppf "MAJ"

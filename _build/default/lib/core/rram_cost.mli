@@ -1,0 +1,37 @@
+(** The RRAM cost model of Table I.
+
+    For a MIG with per-level gate counts [N_i], complemented ingoing edge
+    counts [C_i], depth [D] and [L] levels having complemented edges, the
+    level-by-level mapping methodology of §III-B costs
+
+    - RRAMs:  [R = max_i (K·N_i + C_i)] with [K = 6] (IMP) or [4] (MAJ);
+    - steps:  [S = K·D + L]            with [K = 10] (IMP) or [3] (MAJ).
+
+    These formulas are cross-checked against the actual resource usage and
+    step count of the compiled programs in [lib/rram] (see
+    [test/test_rram.ml]). *)
+
+type realization = Imp | Maj
+
+val rrams_per_gate : realization -> int
+(** 6 for IMP, 4 for MAJ. *)
+
+val steps_per_level : realization -> int
+(** 10 for IMP, 3 for MAJ. *)
+
+type cost = { rrams : int; steps : int }
+
+val of_levels : realization -> Mig_levels.t -> cost
+val of_mig : realization -> Mig.t -> cost
+
+val pareto_better : cost -> cost -> bool
+(** [pareto_better a b]: [a] dominates [b] (≤ in both metrics, < in one). *)
+
+val weighted : ?step_weight:float -> cost -> float
+(** Scalarization used by the multi-objective optimizer to accept moves:
+    [rrams + step_weight * steps]; the default weight (4.0) reflects the
+    paper's position that steps are the dominant cost. *)
+
+val pp : Format.formatter -> cost -> unit
+
+val pp_realization : Format.formatter -> realization -> unit

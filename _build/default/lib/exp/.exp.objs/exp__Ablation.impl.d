@@ -1,0 +1,1 @@
+lib/exp/ablation.ml: Bdd_lib Core Format Io List Rram

@@ -1,0 +1,1 @@
+lib/exp/ablation.mli: Core Format Io

@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Aig_lib Bdd_lib Core Format Io List Logic Result Rram

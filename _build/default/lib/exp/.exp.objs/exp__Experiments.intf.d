@@ -1,0 +1,1 @@
+lib/exp/experiments.mli: Core Format Io

@@ -1,0 +1,67 @@
+(** The paper's experiments, as reusable drivers.
+
+    Each [table*] function runs the full flow for one suite entry —
+    build → MIG → the optimization algorithms of §III-C/D → Table I
+    costs (and for Table III, the BDD/AIG baseline compilers) — and pairs
+    the measured numbers with the paper's, so the report printers can show
+    them side by side.  [bench/main.ml] regenerates every table and figure
+    through this module; the [benchmark_sweep] example and the CLI use it
+    too. *)
+
+type cost = Core.Rram_cost.cost
+
+type t2_row = {
+  name : string;
+  inputs : int;
+  exact : bool;
+  initial_gates : int;
+  area_imp : cost;
+  depth_imp : cost;
+  rram_imp : cost;
+  rram_maj : cost;
+  step_imp : cost;
+  step_maj : cost;
+  paper : Io.Benchmarks.table2_ref;
+}
+
+val table2_row : ?effort:int -> Io.Benchmarks.entry -> t2_row
+val table2 : ?effort:int -> unit -> t2_row list
+val pp_table2 : Format.formatter -> t2_row list -> unit
+(** Prints the Table II reproduction: measured and paper value per cell,
+    per-column sums and measured/paper shape summaries. *)
+
+type bdd_row = {
+  name : string;
+  bdd_nodes : int;
+  bdd_levelized : int * int;  (** (RRAMs, steps) of the parallel variant *)
+  bdd_sequential_steps : int;
+  mig_imp : cost;
+  mig_maj : cost;
+  paper : Io.Benchmarks.table2_ref;
+}
+
+val table3_bdd_row : ?effort:int -> ?bdd_max_nodes:int -> Io.Benchmarks.entry -> bdd_row
+val table3_bdd : ?effort:int -> unit -> bdd_row list
+val pp_table3_bdd : Format.formatter -> bdd_row list -> unit
+
+type aig_row = {
+  name : string;
+  aig_nodes : int;
+  aig_steps : int;  (** sequential AIG→IMP compilation, the [12] accounting *)
+  mig_imp : cost;
+  mig_maj : cost;
+  paper : Io.Benchmarks.table3_ref;
+}
+
+val table3_aig_row : ?effort:int -> Io.Benchmarks.entry -> aig_row
+val table3_aig : ?effort:int -> unit -> aig_row list
+val pp_table3_aig : Format.formatter -> aig_row list -> unit
+
+val verify_entry : ?effort:int -> Io.Benchmarks.entry -> (unit, string) result
+(** End-to-end check for one benchmark: optimize (multi-objective, MAJ),
+    compile both realizations, execute on the device simulator against the
+    source network, and also check the BDD and AIG baseline programs. *)
+
+val pp_table1_check : Format.formatter -> unit -> unit
+(** Prints the Table I cost-model cross-check: formula vs measured program
+    costs for a single majority gate and for a sample of circuits. *)

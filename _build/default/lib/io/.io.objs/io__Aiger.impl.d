@@ -1,0 +1,1 @@
+lib/io/aiger.ml: Aig Aig_lib Array Buffer Hashtbl List Logic Network Printf String

@@ -1,0 +1,1 @@
+lib/io/aiger.mli: Aig_lib Logic

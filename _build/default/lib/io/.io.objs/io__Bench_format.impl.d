@@ -1,0 +1,1 @@
+lib/io/bench_format.ml: Array Buffer Cube Hashtbl List Logic Network Printf Seq Sop String

@@ -1,0 +1,1 @@
+lib/io/bench_format.mli: Logic

@@ -1,0 +1,1 @@
+lib/io/benchmarks.ml: Array Espresso Funcgen Gen List Logic Network Pla Sop

@@ -1,0 +1,1 @@
+lib/io/benchmarks.mli: Logic

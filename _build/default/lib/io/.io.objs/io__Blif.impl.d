@@ -1,0 +1,1 @@
+lib/io/blif.ml: Array Buffer Cube Hashtbl List Logic Network Printf Seq Sop String

@@ -1,0 +1,1 @@
+lib/io/blif.mli: Logic

@@ -1,0 +1,1 @@
+lib/io/export.ml: Array Buffer Core Hashtbl List Logic Network Printf

@@ -1,0 +1,1 @@
+lib/io/export.mli: Core Logic

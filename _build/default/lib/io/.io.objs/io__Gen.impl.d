@@ -1,0 +1,1 @@
+lib/io/gen.ml: Array Cube List Logic Network Pla Printf Prng Sop

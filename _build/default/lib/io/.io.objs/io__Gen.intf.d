@@ -1,0 +1,1 @@
+lib/io/gen.mli: Logic

@@ -1,0 +1,1 @@
+lib/io/pla.ml: Array Buffer Cube Hashtbl List Logic Network Printf Sop String Truth_table

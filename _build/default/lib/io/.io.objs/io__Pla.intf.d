@@ -1,0 +1,1 @@
+lib/io/pla.mli: Logic

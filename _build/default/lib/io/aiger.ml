@@ -1,0 +1,136 @@
+open Logic
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text |> Array.of_list in
+  if Array.length lines = 0 then fail 1 "empty file";
+  let header =
+    String.split_on_char ' ' (String.trim lines.(0)) |> List.filter (fun s -> s <> "")
+  in
+  let m, i, l, o, a =
+    match header with
+    | [ "aag"; m; i; l; o; a ] ->
+        (int_of_string m, int_of_string i, int_of_string l, int_of_string o, int_of_string a)
+    | _ -> fail 1 "expected 'aag M I L O A' header"
+  in
+  if l <> 0 then fail 1 "latches are not supported (combinational subset)";
+  let net = Network.create () in
+  (* var -> network node of the positive literal *)
+  let node_of_var = Array.make (m + 1) (-1) in
+  let const0 = Network.const net false in
+  node_of_var.(0) <- const0;
+  let line_no = ref 1 in
+  let next_line () =
+    incr line_no;
+    if !line_no - 1 >= Array.length lines then fail !line_no "unexpected end of file";
+    String.trim lines.(!line_no - 1)
+  in
+  let ints s =
+    String.split_on_char ' ' s
+    |> List.filter (fun x -> x <> "")
+    |> List.map int_of_string
+  in
+  (* inputs *)
+  for k = 0 to i - 1 do
+    let lit =
+      match ints (next_line ()) with [ v ] -> v | _ -> fail !line_no "bad input line"
+    in
+    if lit land 1 = 1 then fail !line_no "negated input definition";
+    node_of_var.(lit / 2) <- Network.add_input net (Printf.sprintf "i%d" k)
+  done;
+  (* outputs (literals resolved after ANDs are read) *)
+  let output_lits =
+    Array.init o (fun _ ->
+        match ints (next_line ()) with
+        | [ v ] -> v
+        | _ -> fail !line_no "bad output line")
+  in
+  (* AND definitions *)
+  let negations = Hashtbl.create 97 in
+  let and_defs =
+    Array.init a (fun _ ->
+        match ints (next_line ()) with
+        | [ lhs; r0; r1 ] ->
+            if lhs land 1 = 1 then fail !line_no "negated AND definition";
+            (lhs, r0, r1)
+        | _ -> fail !line_no "bad AND line")
+  in
+  let literal lit =
+    let v = lit / 2 in
+    if v > m then fail 0 "literal out of range";
+    let base = node_of_var.(v) in
+    if base < 0 then fail 0 (Printf.sprintf "undefined variable %d" v);
+    if lit land 1 = 0 then base
+    else
+      match Hashtbl.find_opt negations lit with
+      | Some id -> id
+      | None ->
+          let id = Network.not_ net base in
+          Hashtbl.replace negations lit id;
+          id
+  in
+  (* AIGER files are topologically sorted (lhs > rhs), so one pass works. *)
+  Array.iter
+    (fun (lhs, r0, r1) ->
+      let id = Network.and2 net (literal r0) (literal r1) in
+      node_of_var.(lhs / 2) <- id)
+    and_defs;
+  Array.iteri
+    (fun k lit -> Network.add_output net (Printf.sprintf "o%d" k) (literal lit))
+    output_lits;
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let write_aig aig =
+  let open Aig_lib in
+  let order = Aig.topo_order aig in
+  (* AIGER variable numbering: inputs first, then ANDs in topological
+     order. *)
+  let var_of = Hashtbl.create 997 in
+  Hashtbl.replace var_of 0 0;
+  let next = ref 1 in
+  for k = 0 to Aig.num_pis aig - 1 do
+    Hashtbl.replace var_of (Aig.node_of (Aig.pi aig k)) !next;
+    incr next
+  done;
+  List.iter
+    (fun n ->
+      Hashtbl.replace var_of n !next;
+      incr next)
+    order;
+  let lit s =
+    let v = Hashtbl.find var_of (Aig.node_of s) in
+    (2 * v) + if Aig.is_compl s then 1 else 0
+  in
+  let buf = Buffer.create 4096 in
+  let m = !next - 1 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" m (Aig.num_pis aig) (Aig.num_pos aig)
+       (List.length order));
+  for k = 0 to Aig.num_pis aig - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (lit (Aig.pi aig k)))
+  done;
+  Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit s))) (Aig.pos aig);
+  List.iter
+    (fun n ->
+      let f0, f1 = Aig.fanins aig n in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * Hashtbl.find var_of n) (lit f0) (lit f1)))
+    order;
+  Buffer.contents buf
+
+let write_network net = write_aig (Aig_lib.Aig_of_network.convert net)
+
+let write_file path aig =
+  let oc = open_out path in
+  output_string oc (write_aig aig);
+  close_out oc

@@ -1,0 +1,20 @@
+(** ASCII AIGER ([aag]) reader and writer.
+
+    Combinational subset: header [aag M I L O A] with [L = 0] (latches are
+    rejected), input literal lines, output literal lines, AND definition
+    lines [lhs rhs0 rhs1], and the optional symbol/comment section.
+    Literals follow the AIGER convention: [2*var + negation], variable 0 is
+    constant false. *)
+
+exception Parse_error of int * string
+
+val parse_string : string -> Logic.Network.t
+val parse_file : string -> Logic.Network.t
+
+val write_aig : Aig_lib.Aig.t -> string
+(** Serialize an AIG directly (the natural producer). *)
+
+val write_network : Logic.Network.t -> string
+(** Convert through {!Aig_lib.Aig_of_network} first. *)
+
+val write_file : string -> Aig_lib.Aig.t -> unit

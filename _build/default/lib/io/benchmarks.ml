@@ -1,0 +1,188 @@
+open Logic
+
+type pair = { r : int; s : int }
+
+type table2_ref = {
+  area_imp : pair;
+  depth_imp : pair;
+  rram_imp : pair;
+  rram_maj : pair;
+  step_imp : pair;
+  step_maj : pair;
+  bdd : pair;
+}
+
+type table3_ref = { aig_steps : int; mig_imp : pair; mig_maj : pair }
+type reference = Table2_ref of table2_ref | Table3_ref of table3_ref
+
+type entry = {
+  name : string;
+  inputs : int;
+  exact : bool;
+  build : unit -> Network.t;
+  reference : reference;
+}
+
+let p r s = { r; s }
+
+(* Table II (all 12 columns) + Table III left (BDD columns), transcribed from
+   the paper.  Column order: Area-IMP, Depth-IMP, RRAM-costs-IMP,
+   RRAM-costs-MAJ, Step-IMP, Step-MAJ, then BDD [11]. *)
+let t2 a1 a2 d1 d2 r1 r2 m1 m2 s1 s2 j1 j2 b1 b2 =
+  Table2_ref
+    {
+      area_imp = p a1 a2;
+      depth_imp = p d1 d2;
+      rram_imp = p r1 r2;
+      rram_maj = p m1 m2;
+      step_imp = p s1 s2;
+      step_maj = p j1 j2;
+      bdd = p b1 b2;
+    }
+
+let t3 aig ir is mr ms =
+  Table3_ref { aig_steps = aig; mig_imp = p ir is; mig_maj = p mr ms }
+
+let entry name inputs exact build reference = { name; inputs; exact; build; reference }
+
+(* The MCNC functions were distributed as two-level PLAs; re-expressing a
+   (small) function through its minimized SOP reproduces that shallow-wide
+   structural profile exactly. *)
+let two_level build () =
+  let net = build () in
+  if Network.num_inputs net > 12 then net
+  else
+    let sops =
+      Array.map
+        (fun tt -> Espresso.minimize (Sop.of_truth_table tt))
+        (Network.truth_tables net)
+    in
+    Pla.of_sops ~input_names:(Network.input_names net)
+      ~output_names:(Array.of_list (List.map fst (Network.outputs net)))
+      sops
+
+(* Deterministic substitutes: sizes are scaled to roughly half of the
+   paper's structural magnitudes so that effort-40 optimization and the BDD
+   baseline over the whole suite stay within the paper's interactive-runtime
+   regime (DESIGN.md §2 and EXPERIMENTS.md discuss the scaling). *)
+let table2 =
+  [
+    entry "5xp1" 7 true (two_level (fun () -> Funcgen.square 7 10))
+      (t2 170 110 213 110 199 99 149 36 264 77 182 28 84 73);
+    entry "alu4" 14 true (fun () -> Funcgen.alu4 ())
+      (t2 1542 286 1858 242 2160 176 1370 72 2461 165 1717 56 642 334);
+    entry "apex1" 45 false
+      (fun () -> Gen.layered_network ~name:"apex1" ~inputs:45 ~width:150 ~depth:8 ~outputs:45 ())
+      (t2 2647 241 3399 187 3676 165 2343 56 4335 121 2972 44 1626 705);
+    entry "apex2" 39 false
+      (fun () -> Gen.layered_network ~name:"apex2" ~inputs:39 ~width:40 ~depth:10 ~outputs:3 ())
+      (t2 355 275 583 231 531 143 358 56 653 132 435 47 122 237);
+    entry "apex4" 9 false
+      (fun () -> Gen.layered_network ~name:"apex4" ~inputs:9 ~width:200 ~depth:7 ~outputs:19 ())
+      (t2 3854 198 4122 176 4728 143 2820 64 5340 132 3602 48 2073 447);
+    entry "apex5" 117 false
+      (fun () -> Gen.layered_network ~name:"apex5" ~inputs:117 ~width:90 ~depth:9 ~outputs:88 ())
+      (t2 1240 275 1757 143 1482 141 1053 47 1975 98 1286 35 806 888);
+    entry "apex6" 135 false
+      (fun () -> Gen.layered_network ~name:"apex6" ~inputs:135 ~width:100 ~depth:7 ~outputs:99 ())
+      (t2 1097 198 1277 143 1652 121 1018 44 1742 99 1191 36 770 1169);
+    entry "apex7" 49 false
+      (fun () -> Gen.layered_network ~name:"apex7" ~inputs:49 ~width:32 ~depth:7 ~outputs:37 ())
+      (t2 300 176 389 143 408 132 277 48 526 121 348 44 290 437);
+    entry "b9" 41 true (fun () -> Funcgen.ripple_adder 20)
+      (t2 252 99 252 88 252 87 168 32 252 66 168 28 125 298);
+    entry "clip" 9 true (fun () -> Funcgen.clip ())
+      (t2 256 132 276 121 312 110 217 40 380 99 275 36 120 89);
+    entry "cm150a" 21 true (fun () -> Funcgen.mux_tree 4)
+      (t2 132 99 132 99 147 77 95 32 132 88 90 32 56 127);
+    entry "cm162a" 14 true (fun () -> Funcgen.comparator 7)
+      (t2 90 99 90 77 90 86 60 30 90 66 65 24 46 102);
+    entry "cm163a" 16 true (fun () -> Funcgen.comparator 8)
+      (t2 102 77 102 77 102 76 68 27 102 66 68 24 42 116);
+    entry "cordic" 23 true (fun () -> Funcgen.cordic_stage 11 2)
+      (t2 199 164 242 132 189 121 134 48 229 99 162 39 32 149);
+    entry "misex1" 8 false
+      (fun () -> Gen.random_sop_network ~name:"misex1" ~inputs:8 ~outputs:7 ~cubes:12 ~literals:3 ())
+      (t2 101 77 128 66 111 66 76 24 130 55 94 20 83 69);
+    entry "misex3" 14 false
+      (fun () -> Gen.layered_network ~name:"misex3" ~inputs:14 ~width:120 ~depth:8 ~outputs:14 ())
+      (t2 1547 253 2118 231 2207 165 1444 67 2621 143 1762 52 444 185);
+    entry "parity" 16 true (fun () -> Funcgen.parity 16)
+      (t2 224 176 224 176 216 132 152 53 216 154 152 48 23 113);
+    entry "seq" 41 false
+      (fun () -> Gen.layered_network ~name:"seq" ~inputs:41 ~width:140 ~depth:8 ~outputs:35 ())
+      (t2 2032 308 2566 242 3189 153 1970 64 3551 132 2498 60 1566 692);
+    entry "t481" 16 true (fun () -> Funcgen.t481 ())
+      (t2 102 209 168 132 148 142 90 52 188 110 123 40 26 107);
+    entry "table5" 17 false
+      (fun () -> Gen.layered_network ~name:"table5" ~inputs:17 ~width:120 ~depth:8 ~outputs:15 ())
+      (t2 1598 286 2719 231 2630 154 1723 64 3393 142 2252 52 580 168);
+    entry "too_large" 38 false
+      (fun () -> Gen.layered_network ~name:"too_large" ~inputs:38 ~width:35 ~depth:10 ~outputs:3 ())
+      (t2 315 341 512 264 510 164 322 64 587 121 392 48 282 232);
+    entry "x1" 51 false
+      (fun () -> Gen.layered_network ~name:"x1" ~inputs:51 ~width:43 ~depth:7 ~outputs:35 ())
+      (t2 442 164 736 110 569 99 435 36 711 77 509 28 230 398);
+    entry "x2" 10 false
+      (fun () -> Gen.random_sop_network ~name:"x2" ~inputs:10 ~outputs:7 ~cubes:10 ~literals:4 ())
+      (t2 66 88 92 77 66 76 46 26 94 66 68 24 60 80);
+    entry "x3" 135 false
+      (fun () -> Gen.layered_network ~name:"x3" ~inputs:135 ~width:97 ~depth:7 ~outputs:99 ())
+      (t2 1075 198 1363 143 1729 99 1008 44 1787 99 1201 36 770 1169);
+    entry "x4" 94 false
+      (fun () -> Gen.layered_network ~name:"x4" ~inputs:94 ~width:50 ~depth:7 ~outputs:71 ())
+      (t2 570 121 591 88 599 77 391 28 694 66 563 24 401 642);
+  ]
+
+let slice build k () =
+  let net = build () in
+  Network.extract_outputs net [ k ]
+
+let sao2 () =
+  Gen.random_sop_network ~name:"sao2" ~inputs:10 ~outputs:4 ~cubes:20 ~literals:5 ()
+
+let table3_aig =
+  [
+    entry "9sym_d" 9 true (fun () -> Funcgen.sym_range 9 3 6) (t3 1418 923 175 398 60);
+    entry "con1f1" 7 false
+      (fun () -> Gen.random_sop_network ~name:"con1f1" ~inputs:7 ~outputs:1 ~cubes:4 ~literals:3 ())
+      (t3 18 70 75 28 26);
+    entry "con2f2" 7 false
+      (fun () -> Gen.random_sop_network ~name:"con2f2" ~inputs:7 ~outputs:1 ~cubes:4 ~literals:3 ())
+      (t3 19 60 76 24 24);
+    entry "exam1_d" 3 false
+      (fun () -> Gen.random_sop_network ~name:"exam1_d" ~inputs:3 ~outputs:1 ~cubes:3 ~literals:2 ())
+      (t3 12 43 44 19 16);
+    entry "exam3_d" 4 false
+      (fun () -> Gen.random_sop_network ~name:"exam3_d" ~inputs:4 ~outputs:1 ~cubes:4 ~literals:3 ())
+      (t3 12 50 55 20 23);
+    entry "max46_d" 9 false
+      (fun () -> Gen.random_sop_network ~name:"max46_d" ~inputs:9 ~outputs:1 ~cubes:30 ~literals:6 ())
+      (t3 427 408 131 193 48);
+    entry "newill_d" 8 false
+      (fun () -> Gen.random_sop_network ~name:"newill_d" ~inputs:8 ~outputs:1 ~cubes:8 ~literals:4 ())
+      (t3 50 129 109 57 40);
+    entry "newtag_d" 8 false
+      (fun () -> Gen.random_sop_network ~name:"newtag_d" ~inputs:8 ~outputs:1 ~cubes:5 ~literals:3 ())
+      (t3 21 90 96 36 33);
+    entry "rd53f1" 5 true (slice (fun () -> Funcgen.rd 5 3) 0) (t3 27 60 64 24 25);
+    entry "rd53f2" 5 true (slice (fun () -> Funcgen.rd 5 3) 1) (t3 57 77 77 35 28);
+    entry "rd53f3" 5 true (slice (fun () -> Funcgen.rd 5 3) 2) (t3 32 86 66 38 24);
+    entry "rd73f1" 7 true (slice (fun () -> Funcgen.rd 7 3) 0) (t3 238 291 121 140 44);
+    entry "rd73f2" 7 true (slice (fun () -> Funcgen.rd 7 3) 1) (t3 46 129 88 57 32);
+    entry "rd73f3" 7 true (slice (fun () -> Funcgen.rd 7 3) 2) (t3 104 193 107 84 39);
+    entry "rd84f1" 8 true (slice (fun () -> Funcgen.rd 8 4) 0) (t3 351 430 153 187 52);
+    entry "rd84f2" 8 true (slice (fun () -> Funcgen.rd 8 4) 1) (t3 47 172 88 76 31);
+    entry "rd84f3" 8 true (slice (fun () -> Funcgen.rd 8 4) 2) (t3 23 90 50 36 15);
+    entry "rd84f4" 8 true (slice (fun () -> Funcgen.rd 8 4) 3) (t3 345 473 141 214 47);
+    entry "sao2f1" 10 false (slice sao2 0) (t3 102 110 108 72 35);
+    entry "sao2f2" 10 false (slice sao2 1) (t3 112 234 119 98 42);
+    entry "sao2f3" 10 false (slice sao2 2) (t3 380 325 143 143 55);
+    entry "sao2f4" 10 false (slice sao2 3) (t3 252 326 143 163 59);
+    entry "sym10_d" 10 true (fun () -> Funcgen.sym_range 10 3 6) (t3 1172 1475 187 643 72);
+    entry "t481_d" 16 true (fun () -> Funcgen.t481 ()) (t3 1564 1285 187 567 72);
+    entry "xor5_d" 5 true (fun () -> Funcgen.parity 5) (t3 32 86 66 38 24);
+  ]
+
+let all = table2 @ table3_aig
+let find name = List.find_opt (fun e -> e.name = name) all

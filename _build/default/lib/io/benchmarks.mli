@@ -1,0 +1,54 @@
+(** The paper's two benchmark suites, with its reported numbers embedded.
+
+    Table II evaluates 25 ISCAS-89/LGsynth91 functions (7–135 inputs) under
+    the six optimization columns; Table III compares against the BDD flow
+    [11] on the same suite and against the AIG flow [12] on a second suite
+    of 25 small functions (3–16 inputs).
+
+    Original netlists are not redistributable, so each entry is either an
+    {e exact} re-implementation (the function is mathematically defined:
+    parity, rd*, 9sym/sym10, xor5, cm150a = 16:1 mux, cm162a/cm163a =
+    comparators, b9-class = adder, alu4 = 4-bit ALU, clip, cordic stage,
+    5xp1 = squarer) or a {e deterministic seeded substitute} with the
+    paper's input count and a comparable size profile (the apex, seq, misex,
+    table5, too_large, x1–x4, sao2, con, exam, max46 and new families).  The
+    [exact] flag records which.  The embedded paper numbers let the
+    benchmark harness print paper-vs-measured side by side. *)
+
+type pair = { r : int; s : int }
+(** (RRAMs, steps) as reported by the paper. *)
+
+type table2_ref = {
+  area_imp : pair;
+  depth_imp : pair;
+  rram_imp : pair;  (** multi-objective, IMP realization *)
+  rram_maj : pair;  (** multi-objective, MAJ realization *)
+  step_imp : pair;
+  step_maj : pair;
+  bdd : pair;  (** the BDD flow [11], from Table III (left) *)
+}
+
+type table3_ref = {
+  aig_steps : int;  (** the AIG flow [12] *)
+  mig_imp : pair;  (** paper's MIG numbers on this suite *)
+  mig_maj : pair;
+}
+
+type reference = Table2_ref of table2_ref | Table3_ref of table3_ref
+
+type entry = {
+  name : string;
+  inputs : int;
+  exact : bool;
+  build : unit -> Logic.Network.t;
+  reference : reference;
+}
+
+val table2 : entry list
+(** The 25 large benchmarks of Tables II / III-left. *)
+
+val table3_aig : entry list
+(** The 25 small benchmarks of Table III-right. *)
+
+val all : entry list
+val find : string -> entry option

@@ -1,0 +1,18 @@
+(** Graph exporters: Graphviz DOT for inspection and gate-level structural
+    Verilog for downstream consumption.
+
+    The Verilog writer emits each majority node as an [assign] with the
+    standard AND/OR expansion (synthesizable by any tool); complement
+    attributes become [~] on operand references, so the file mirrors the MIG
+    exactly (gate count = MIG size, inverters free). *)
+
+val mig_to_dot : Core.Mig.t -> string
+(** DOT digraph: boxes for PIs, circles for majority gates, dashed edges for
+    complemented inputs. *)
+
+val mig_to_verilog : ?module_name:string -> Core.Mig.t -> string
+
+val network_to_dot : Logic.Network.t -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

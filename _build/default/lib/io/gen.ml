@@ -1,0 +1,98 @@
+open Logic
+
+let binary_kinds =
+  [| Network.And; Network.Or; Network.Xor; Network.Nand; Network.Nor |]
+
+(* Both generators use *windowed* connectivity: a gate draws its operands
+   from a small neighbourhood of the previous layer (or of recently created
+   nodes) around its own position.  Real netlists have exactly this kind of
+   locality — bounded-support cones — and it is what keeps their BDDs
+   polynomial; fully random connectivity would make the BDD baseline
+   overflow on circuits whose originals are BDD-friendly. *)
+
+let window_pick rng arr center radius =
+  let n = Array.length arr in
+  let lo = max 0 (center - radius) in
+  let hi = min (n - 1) (center + radius) in
+  arr.(lo + Prng.int rng (hi - lo + 1))
+
+let random_network ~name ~inputs ~gates ~outputs () =
+  let rng = Prng.of_string name in
+  let net = Network.create () in
+  let pool = Array.make (inputs + gates) 0 in
+  for i = 0 to inputs - 1 do
+    pool.(i) <- Network.add_input net (Printf.sprintf "x%d" i)
+  done;
+  let count = ref inputs in
+  for g = 0 to gates - 1 do
+    (* anchor the gate over a position that sweeps the pool, so cones stay
+       narrow but the whole input space gets covered *)
+    let center =
+      if !count <= 4 then 0
+      else (g * (!count - 1) / max 1 gates) + Prng.int rng 4
+    in
+    let center = min center (!count - 1) in
+    let existing = Array.sub pool 0 !count in
+    let pick () = window_pick rng existing center 4 in
+    let choice = Prng.int rng 10 in
+    let id =
+      if choice < 7 then
+        Network.gate net (Prng.pick rng binary_kinds) [| pick (); pick () |]
+      else if choice < 8 then
+        Network.gate net Network.Maj [| pick (); pick (); pick () |]
+      else if choice < 9 then
+        Network.gate net Network.Mux [| pick (); pick (); pick () |]
+      else Network.not_ net (pick ())
+    in
+    pool.(!count) <- id;
+    incr count
+  done;
+  let last = Array.sub pool (max 0 (!count - max outputs (gates / 3))) (min !count (max outputs (gates / 3))) in
+  for o = 0 to outputs - 1 do
+    let center = o * (Array.length last - 1) / max 1 outputs in
+    Network.add_output net (Printf.sprintf "y%d" o) (window_pick rng last center 3)
+  done;
+  net
+
+let layered_network ~name ~inputs ~width ~depth ~outputs () =
+  let rng = Prng.of_string name in
+  let net = Network.create () in
+  let layer0 =
+    Array.init inputs (fun i -> Network.add_input net (Printf.sprintf "x%d" i))
+  in
+  let prev = ref layer0 in
+  for _ = 1 to depth do
+    let sources = !prev in
+    let n_src = Array.length sources in
+    let layer =
+      Array.init width (fun i ->
+          let center = i * (n_src - 1) / max 1 width in
+          let pick () = window_pick rng sources center 3 in
+          if Prng.int rng 8 < 6 then
+            Network.gate net (Prng.pick rng binary_kinds) [| pick (); pick () |]
+          else Network.gate net Network.Maj [| pick (); pick (); pick () |])
+    in
+    prev := layer
+  done;
+  let last = !prev in
+  for o = 0 to outputs - 1 do
+    let center = o * (Array.length last - 1) / max 1 outputs in
+    Network.add_output net (Printf.sprintf "y%d" o) (window_pick rng last center 3)
+  done;
+  net
+
+let random_sop_network ~name ~inputs ~outputs ~cubes ~literals () =
+  let rng = Prng.of_string name in
+  let sops =
+    Array.init outputs (fun _ ->
+        let cube () =
+          let c = ref (Cube.create inputs) in
+          for _ = 1 to literals do
+            let v = Prng.int rng inputs in
+            c := Cube.set !c v (if Prng.bool rng then Cube.Pos else Cube.Neg)
+          done;
+          !c
+        in
+        Sop.of_cubes inputs (List.init cubes (fun _ -> cube ())))
+  in
+  Pla.of_sops sops

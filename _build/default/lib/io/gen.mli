@@ -1,0 +1,41 @@
+(** Seeded random circuit generators.
+
+    Used to synthesize deterministic stand-ins for the MCNC/ISCAS benchmark
+    netlists that are not redistributable (see DESIGN.md §2): each generator
+    is a pure function of its parameters and seed string, so every run of
+    the experiments sees the identical circuit. *)
+
+val random_network :
+  name:string ->
+  inputs:int ->
+  gates:int ->
+  outputs:int ->
+  unit ->
+  Logic.Network.t
+(** Random DAG of 2–3-input gates (AND/OR/XOR/NAND/NOR/MAJ/MUX/NOT).  Gate
+    operands are biased toward recently created nodes, which yields
+    multi-level structure (depth grows roughly logarithmically with
+    [gates]).  Outputs are drawn from the deepest recent nodes so most of
+    the circuit is live. *)
+
+val layered_network :
+  name:string ->
+  inputs:int ->
+  width:int ->
+  depth:int ->
+  outputs:int ->
+  unit ->
+  Logic.Network.t
+(** Random DAG with a fixed number of layers of a fixed width; operands come
+    from the previous two layers.  Produces the wide-and-shallow profile of
+    two-level PLA benchmarks. *)
+
+val random_sop_network :
+  name:string ->
+  inputs:int ->
+  outputs:int ->
+  cubes:int ->
+  literals:int ->
+  unit ->
+  Logic.Network.t
+(** Random multi-output PLA: each output is a random cover. *)

@@ -1,0 +1,1 @@
+lib/logic/bitvec.ml: Array Format Int64 Prng String

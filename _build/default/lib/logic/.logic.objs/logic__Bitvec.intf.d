@@ -1,0 +1,1 @@
+lib/logic/bitvec.mli: Format Prng

@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Bitvec Format List Stdlib String Truth_table

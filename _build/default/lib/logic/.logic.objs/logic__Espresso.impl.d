@@ -1,0 +1,1 @@
+lib/logic/espresso.ml: Array Cube List Option Sop

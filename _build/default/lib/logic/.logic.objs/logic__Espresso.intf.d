@@ -1,0 +1,1 @@
+lib/logic/espresso.mli: Cube Sop

@@ -1,0 +1,1 @@
+lib/logic/funcgen.ml: Array Hashtbl Lazy List Network Printf

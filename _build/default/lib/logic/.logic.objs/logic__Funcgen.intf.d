@@ -1,0 +1,1 @@
+lib/logic/funcgen.mli: Network

@@ -1,0 +1,1 @@
+lib/logic/network.ml: Array Bitvec Cube Format Hashtbl List Sop Truth_table

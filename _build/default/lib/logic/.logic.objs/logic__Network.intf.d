@@ -1,0 +1,1 @@
+lib/logic/network.mli: Bitvec Format Sop Truth_table

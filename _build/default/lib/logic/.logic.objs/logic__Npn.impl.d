@@ -1,0 +1,1 @@
+lib/logic/npn.ml: Array List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/npn.mli: Truth_table

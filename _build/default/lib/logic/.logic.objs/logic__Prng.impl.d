@@ -1,0 +1,1 @@
+lib/logic/prng.ml: Array Char Int64 String

@@ -1,0 +1,1 @@
+lib/logic/seq.ml: Array Format List Network

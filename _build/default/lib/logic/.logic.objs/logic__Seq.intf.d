@@ -1,0 +1,1 @@
+lib/logic/seq.mli: Format Network

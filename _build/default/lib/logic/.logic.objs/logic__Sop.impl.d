@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Array Cube Format List Truth_table

@@ -1,0 +1,1 @@
+lib/logic/sop.mli: Cube Format Truth_table

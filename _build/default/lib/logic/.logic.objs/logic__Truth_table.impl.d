@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Array Bitvec Format Int64 String

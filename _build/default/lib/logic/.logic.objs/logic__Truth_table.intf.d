@@ -1,0 +1,1 @@
+lib/logic/truth_table.mli: Bitvec Format

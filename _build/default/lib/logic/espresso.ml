@@ -1,0 +1,159 @@
+(* Cube-list algebra in the espresso style.  Covers are manipulated as plain
+   cube lists; the recursions are over the variable set, selecting the most
+   binate variable first (the classic unate heuristic). *)
+
+let cubes = Sop.cubes
+let num_vars = Sop.num_vars
+
+let is_universal c = Cube.num_literals c = 0
+
+(* Positive/negative literal occurrence counts per variable. *)
+let occurrence_counts n cover =
+  let pos = Array.make n 0 and neg = Array.make n 0 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (v, positive) ->
+          if positive then pos.(v) <- pos.(v) + 1 else neg.(v) <- neg.(v) + 1)
+        (Cube.literals c))
+    cover;
+  (pos, neg)
+
+(* The variable occurring in both polarities with the highest total count;
+   [None] when the cover is unate. *)
+let most_binate n cover =
+  let pos, neg = occurrence_counts n cover in
+  let best = ref None in
+  for v = 0 to n - 1 do
+    if pos.(v) > 0 && neg.(v) > 0 then
+      match !best with
+      | Some (_, score) when pos.(v) + neg.(v) <= score -> ()
+      | _ -> best := Some (v, pos.(v) + neg.(v))
+  done;
+  Option.map fst !best
+
+(* Cofactor of a cube list w.r.t. literal (v = positive). *)
+let cofactor_literal cover v positive =
+  List.filter_map
+    (fun c ->
+      match Cube.get c v with
+      | Cube.DC -> Some c
+      | Cube.Pos -> if positive then Some (Cube.set c v Cube.DC) else None
+      | Cube.Neg -> if positive then None else Some (Cube.set c v Cube.DC))
+    cover
+
+(* Cofactor w.r.t. a whole cube: used for containment checking. *)
+let cofactor_cube cover q =
+  List.filter_map
+    (fun c ->
+      if not (Cube.intersects c q) then None
+      else begin
+        let r = ref c in
+        List.iter (fun (v, _) -> r := Cube.set !r v Cube.DC) (Cube.literals q);
+        Some !r
+      end)
+    cover
+
+let rec tautology_cubes n cover =
+  if List.exists is_universal cover then true
+  else
+    match cover with
+    | [] -> false
+    | _ -> (
+        match most_binate n cover with
+        | None ->
+            (* unate, no universal cube: cannot be a tautology *)
+            false
+        | Some v ->
+            tautology_cubes n (cofactor_literal cover v true)
+            && tautology_cubes n (cofactor_literal cover v false))
+
+let tautology sop = tautology_cubes (num_vars sop) (cubes sop)
+
+let rec complement_cubes n cover =
+  if List.exists is_universal cover then []
+  else
+    match cover with
+    | [] -> [ Cube.create n ]
+    | [ c ] ->
+        (* De Morgan on a single cube: one single-literal cube per literal *)
+        List.map
+          (fun (v, positive) ->
+            Cube.set (Cube.create n) v (if positive then Cube.Neg else Cube.Pos))
+          (Cube.literals c)
+    | _ -> (
+        match most_binate n cover with
+        | Some v ->
+            let c1 = complement_cubes n (cofactor_literal cover v true) in
+            let c0 = complement_cubes n (cofactor_literal cover v false) in
+            List.map (fun c -> Cube.set c v Cube.Pos) c1
+            @ List.map (fun c -> Cube.set c v Cube.Neg) c0
+        | None ->
+            (* unate cover: split on any bound variable *)
+            let v =
+              match List.concat_map Cube.literals cover with
+              | (v, _) :: _ -> v
+              | [] -> assert false
+            in
+            let c1 = complement_cubes n (cofactor_literal cover v true) in
+            let c0 = complement_cubes n (cofactor_literal cover v false) in
+            List.map (fun c -> Cube.set c v Cube.Pos) c1
+            @ List.map (fun c -> Cube.set c v Cube.Neg) c0)
+
+let dedup cover =
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if
+          List.exists (fun d -> Cube.contains d c) acc
+          || List.exists (fun d -> Cube.contains d c) rest
+        then keep acc rest
+        else keep (c :: acc) rest
+  in
+  keep [] (List.sort_uniq Cube.compare cover)
+
+let complement sop =
+  Sop.of_cubes (num_vars sop) (dedup (complement_cubes (num_vars sop) (cubes sop)))
+
+let covers sop cube = tautology_cubes (num_vars sop) (cofactor_cube (cubes sop) cube)
+
+let expand sop =
+  let n = num_vars sop in
+  let off = complement_cubes n (cubes sop) in
+  let clashes c = List.exists (fun d -> Cube.intersects c d) off in
+  let expand_cube c =
+    List.fold_left
+      (fun c (v, _) ->
+        let candidate = Cube.set c v Cube.DC in
+        if clashes candidate then c else candidate)
+      c (Cube.literals c)
+  in
+  Sop.of_cubes n (dedup (List.map expand_cube (cubes sop)))
+
+let irredundant sop =
+  let n = num_vars sop in
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let others = List.rev_append kept rest in
+        if others <> [] && tautology_cubes n (cofactor_cube others c) then go kept rest
+        else go (c :: kept) rest
+  in
+  (* try to drop large covers' small cubes first: sort by literal count
+     descending so specific cubes are considered for removal early *)
+  let ordered =
+    List.sort (fun a b -> compare (Cube.num_literals b) (Cube.num_literals a)) (cubes sop)
+  in
+  Sop.of_cubes n (go [] ordered)
+
+let minimize ?(max_iters = 3) sop =
+  let rec loop i current =
+    if i >= max_iters then current
+    else begin
+      let next = irredundant (expand (Sop.minimize current)) in
+      if Sop.num_cubes next = Sop.num_cubes current && Sop.num_literals next = Sop.num_literals current
+      then next
+      else loop (i + 1) next
+    end
+  in
+  loop 0 sop

@@ -1,0 +1,33 @@
+(** Two-level minimization in the espresso style.
+
+    A compact implementation of the classic loop over cube covers:
+
+    - {!complement}: cover complement by unate-recursive Shannon expansion
+      (polynomial in practice, unlike the naive De Morgan product);
+    - {!tautology}: unate-recursive tautology check;
+    - {!expand}: enlarge each cube literal-by-literal against the off-set;
+    - {!irredundant}: drop cubes covered by the rest of the cover;
+    - {!minimize}: EXPAND → IRREDUNDANT iterated to a fixpoint.
+
+    Sound for any cover (the function is preserved — property-checked); not
+    guaranteed minimum, like espresso itself.  Used to re-express parsed PLA
+    covers and as the resynthesis engine of the cut-based MIG rewriter. *)
+
+val tautology : Sop.t -> bool
+(** Is the cover the constant-true function? *)
+
+val complement : Sop.t -> Sop.t
+(** Cover of the complement function. *)
+
+val covers : Sop.t -> Cube.t -> bool
+(** Does the cover contain every minterm of the cube? *)
+
+val expand : Sop.t -> Sop.t
+(** Maximally enlarge each cube against the off-set, then drop cubes that
+    became contained in earlier ones. *)
+
+val irredundant : Sop.t -> Sop.t
+(** Remove cubes whose minterms are covered by the remaining cubes. *)
+
+val minimize : ?max_iters:int -> Sop.t -> Sop.t
+(** The full loop; also applies {!Sop.minimize}'s cheap merging. *)

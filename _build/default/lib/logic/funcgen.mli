@@ -1,0 +1,66 @@
+(** Constructors for well-defined benchmark functions.
+
+    Every function here builds a {!Network.t} from scratch; these are the
+    benchmarks whose mathematical definition is public (parity, one-counters,
+    symmetric functions, wide muxes, ALU, clipper, adders, multipliers), used
+    to realize the named suites of the paper exactly rather than
+    approximately. *)
+
+val parity : int -> Network.t
+(** [parity n]: single output, XOR of [n] inputs. *)
+
+val majority_n : int -> Network.t
+(** [majority_n n] ([n] odd): 1 iff more than half of the inputs are 1,
+    realized as a sorting-free adder-tree comparator. *)
+
+val rd : int -> int -> Network.t
+(** [rd n k]: the LGsynth "rdXY" family — [k]-bit binary count of ones among
+    [n] inputs (rd53 = [rd 5 3], rd73 = [rd 7 3], rd84 = [rd 8 4]). *)
+
+val sym_range : int -> int -> int -> Network.t
+(** [sym_range n lo hi]: symmetric function, 1 iff the number of ones among
+    [n] inputs lies in [\[lo, hi\]] (9sym = [sym_range 9 3 6]). *)
+
+val mux_tree : int -> Network.t
+(** [mux_tree k]: a [2^k:1] multiplexer with [k] select and [2^k] data inputs
+    (cm150a-style; [mux_tree 4] has 20 inputs) plus one enable input to match
+    the 21-input benchmark. *)
+
+val alu4 : unit -> Network.t
+(** 74181-style 4-bit ALU slice: inputs a\[4\], b\[4\], carry-in, mode and
+    4 select lines (14 inputs); outputs f\[4\], carry-out, propagate,
+    generate, a=b (8 outputs). *)
+
+val clip : unit -> Network.t
+(** Saturating clipper: 9-bit signed input clipped to 5-bit signed output. *)
+
+val ripple_adder : int -> Network.t
+(** [ripple_adder w]: [w]-bit adder with carry-in; outputs sum and
+    carry-out. *)
+
+val carry_lookahead_adder : int -> Network.t
+(** [carry_lookahead_adder w]: same function as {!ripple_adder} but with
+    logarithmic-depth parallel-prefix carries. *)
+
+val multiplier : int -> Network.t
+(** [multiplier w]: [w×w]-bit array multiplier, [2w] outputs. *)
+
+val comparator : int -> Network.t
+(** [comparator w]: unsigned [a < b], [a = b], [a > b]. *)
+
+val full_adder : unit -> Network.t
+(** 3 inputs, outputs sum and carry — the quickstart example circuit. *)
+
+val square : int -> int -> Network.t
+(** [square w out_bits]: the low [out_bits] bits of the square of a [w]-bit
+    input (the arithmetic profile of the 5xp1 benchmark: [square 7 10]). *)
+
+val cordic_stage : int -> int -> Network.t
+(** [cordic_stage w shift]: one CORDIC micro-rotation on a [w]-bit
+    coordinate — inputs x\[w\], y\[w\] and a direction bit d; output
+    [x + (y >> shift)] when [d] and [x - (y >> shift)] otherwise
+    ([cordic_stage 11 2] has the 23 inputs of the cordic benchmark). *)
+
+val t481 : unit -> Network.t
+(** The 16-input t481 benchmark in its known decomposed form:
+    a 2-level composition of 4-input subfunctions (documented in the body). *)

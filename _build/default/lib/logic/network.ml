@@ -1,0 +1,214 @@
+type id = int
+
+type kind =
+  | Const of bool
+  | Input of int
+  | And
+  | Or
+  | Xor
+  | Nand
+  | Nor
+  | Xnor
+  | Not
+  | Buf
+  | Maj
+  | Mux
+  | Table of Sop.t
+
+type node = { kind : kind; fanins : id array }
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable inputs : id list; (* reversed *)
+  mutable input_count : int;
+  names : (string, id) Hashtbl.t;
+  mutable input_names_rev : string list;
+  mutable outputs_rev : (string * id) list;
+}
+
+let create () =
+  {
+    nodes = Array.make 64 { kind = Const false; fanins = [||] };
+    n = 0;
+    inputs = [];
+    input_count = 0;
+    names = Hashtbl.create 97;
+    input_names_rev = [];
+    outputs_rev = [];
+  }
+
+let ensure_capacity t =
+  if t.n >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) t.nodes.(0) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end
+
+let push t node =
+  ensure_capacity t;
+  t.nodes.(t.n) <- node;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let add_input t name =
+  if Hashtbl.mem t.names name then invalid_arg ("Network.add_input: duplicate input " ^ name);
+  let id = push t { kind = Input t.input_count; fanins = [||] } in
+  t.inputs <- id :: t.inputs;
+  t.input_count <- t.input_count + 1;
+  t.input_names_rev <- name :: t.input_names_rev;
+  Hashtbl.add t.names name id;
+  id
+
+let const t b = push t { kind = Const b; fanins = [||] }
+
+let arity_ok kind n =
+  match kind with
+  | Const _ | Input _ -> n = 0
+  | Not | Buf -> n = 1
+  | Maj | Mux -> n = 3
+  | And | Or | Xor | Nand | Nor | Xnor -> n >= 1
+  | Table sop -> Sop.num_vars sop = n
+
+let gate t kind fanins =
+  if not (arity_ok kind (Array.length fanins)) then
+    invalid_arg "Network.gate: bad arity";
+  Array.iter
+    (fun f -> if f < 0 || f >= t.n then invalid_arg "Network.gate: dangling fanin")
+    fanins;
+  push t { kind; fanins = Array.copy fanins }
+
+let and2 t a b = gate t And [| a; b |]
+let or2 t a b = gate t Or [| a; b |]
+let xor2 t a b = gate t Xor [| a; b |]
+let not_ t a = gate t Not [| a |]
+let maj t a b c = gate t Maj [| a; b; c |]
+let mux t s a b = gate t Mux [| s; a; b |]
+
+let add_output t name id =
+  if id < 0 || id >= t.n then invalid_arg "Network.add_output: dangling driver";
+  t.outputs_rev <- (name, id) :: t.outputs_rev
+
+let num_nodes t = t.n
+let num_inputs t = t.input_count
+let num_outputs t = List.length t.outputs_rev
+
+let num_gates t =
+  let count = ref 0 in
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i).kind with Const _ | Input _ -> () | _ -> incr count
+  done;
+  !count
+
+let kind t id = t.nodes.(id).kind
+let fanins t id = t.nodes.(id).fanins
+let input_names t = Array.of_list (List.rev t.input_names_rev)
+let outputs t = List.rev t.outputs_rev
+
+let input_id t i =
+  let arr = Array.of_list (List.rev t.inputs) in
+  arr.(i)
+
+let find_input t name = Hashtbl.find_opt t.names name
+
+let fold_reduce f init = function
+  | [||] -> init
+  | arr ->
+      let acc = ref arr.(0) in
+      for i = 1 to Array.length arr - 1 do
+        acc := f !acc arr.(i)
+      done;
+      !acc
+
+let simulate t ins =
+  if Array.length ins <> t.input_count then invalid_arg "Network.simulate: input count";
+  let width = if Array.length ins = 0 then 1 else Bitvec.width ins.(0) in
+  let values = Array.make t.n (Bitvec.create width) in
+  for i = 0 to t.n - 1 do
+    let node = t.nodes.(i) in
+    let v j = values.(node.fanins.(j)) in
+    let all = Array.map (fun f -> values.(f)) node.fanins in
+    values.(i) <-
+      (match node.kind with
+      | Const b -> if b then Bitvec.ones width else Bitvec.create width
+      | Input k -> ins.(k)
+      | And -> fold_reduce Bitvec.band (Bitvec.ones width) all
+      | Or -> fold_reduce Bitvec.bor (Bitvec.create width) all
+      | Xor -> fold_reduce Bitvec.bxor (Bitvec.create width) all
+      | Nand -> Bitvec.bnot (fold_reduce Bitvec.band (Bitvec.ones width) all)
+      | Nor -> Bitvec.bnot (fold_reduce Bitvec.bor (Bitvec.create width) all)
+      | Xnor -> Bitvec.bnot (fold_reduce Bitvec.bxor (Bitvec.create width) all)
+      | Not -> Bitvec.bnot (v 0)
+      | Buf -> v 0
+      | Maj -> Bitvec.maj3 (v 0) (v 1) (v 2)
+      | Mux -> Bitvec.mux (v 0) (v 1) (v 2)
+      | Table sop ->
+          (* Evaluate the cover cube by cube over the fanin patterns. *)
+          let acc = ref (Bitvec.create width) in
+          List.iter
+            (fun cube ->
+              let term = ref (Bitvec.ones width) in
+              List.iter
+                (fun (var, pos) ->
+                  let pat = all.(var) in
+                  term := Bitvec.band !term (if pos then pat else Bitvec.bnot pat))
+                (Cube.literals cube);
+              acc := Bitvec.bor !acc !term)
+            (Sop.cubes sop);
+          !acc)
+  done;
+  (* outputs_rev is in reverse declaration order, so rev_map restores it. *)
+  Array.of_list (List.rev_map (fun (_, id) -> values.(id)) t.outputs_rev)
+
+let truth_tables t =
+  let n = t.input_count in
+  if n > Truth_table.max_vars then invalid_arg "Network.truth_tables: too many inputs";
+  let ins = Array.init n (fun i -> Truth_table.bitvec (Truth_table.var n i)) in
+  simulate t ins
+  |> Array.map (fun bv ->
+         let tt = Truth_table.create n in
+         for w = 0 to Bitvec.num_words bv - 1 do
+           Bitvec.set_word (Truth_table.bitvec tt) w (Bitvec.word bv w)
+         done;
+         tt)
+
+let eval t a =
+  let ins =
+    Array.init t.input_count (fun i ->
+        let bv = Bitvec.create 1 in
+        Bitvec.set bv 0 a.(i);
+        bv)
+  in
+  Array.map (fun bv -> Bitvec.get bv 0) (simulate t ins)
+
+let extract_outputs t which =
+  let fresh = create () in
+  let map = Array.make t.n (-1) in
+  Array.iter
+    (fun name -> ignore (add_input fresh name))
+    (input_names t);
+  let rec copy id =
+    if map.(id) >= 0 then map.(id)
+    else begin
+      let node = t.nodes.(id) in
+      let new_id =
+        match node.kind with
+        | Input k -> input_id fresh k
+        | Const b -> const fresh b
+        | kind -> gate fresh kind (Array.map copy node.fanins)
+      in
+      map.(id) <- new_id;
+      new_id
+    end
+  in
+  let outs = Array.of_list (outputs t) in
+  List.iter
+    (fun o ->
+      let name, id = outs.(o) in
+      add_output fresh name (copy id))
+    which;
+  fresh
+
+let pp_stats ppf t =
+  Format.fprintf ppf "inputs=%d outputs=%d gates=%d nodes=%d" (num_inputs t)
+    (num_outputs t) (num_gates t) (num_nodes t)

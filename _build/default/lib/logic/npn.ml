@@ -1,0 +1,60 @@
+let max_vars = 5
+
+type transform = { perm : int array; input_neg : bool array; output_neg : bool }
+
+let eval tt x =
+  let m = ref 0 in
+  Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) x;
+  Truth_table.get tt !m
+
+let apply t tt =
+  let n = Truth_table.num_vars tt in
+  Truth_table.of_function n (fun y ->
+      let x = Array.make n false in
+      for i = 0 to n - 1 do
+        x.(t.perm.(i)) <- y.(i)
+      done;
+      for v = 0 to n - 1 do
+        if t.input_neg.(v) then x.(v) <- not x.(v)
+      done;
+      eval tt x <> t.output_neg)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let canonize tt =
+  let n = Truth_table.num_vars tt in
+  if n > max_vars then invalid_arg "Npn.canonize: too many variables";
+  let perms = permutations (List.init n (fun i -> i)) in
+  let best = ref None in
+  List.iter
+    (fun perm_list ->
+      let perm = Array.of_list perm_list in
+      for neg_mask = 0 to (1 lsl n) - 1 do
+        let input_neg = Array.init n (fun v -> neg_mask land (1 lsl v) <> 0) in
+        List.iter
+          (fun output_neg ->
+            let t = { perm; input_neg; output_neg } in
+            let candidate = apply t tt in
+            let key = Truth_table.to_bits candidate in
+            match !best with
+            | Some (best_key, _, _) when best_key <= key -> ()
+            | _ -> best := Some (key, candidate, t))
+          [ false; true ]
+      done)
+    perms;
+  match !best with Some (_, canonical, t) -> (canonical, t) | None -> assert false
+
+let signals_for t inputs negate =
+  let n = Array.length t.perm in
+  let operands =
+    Array.init n (fun i ->
+        let v = t.perm.(i) in
+        if t.input_neg.(v) then negate inputs.(v) else inputs.(v))
+  in
+  (operands, t.output_neg)

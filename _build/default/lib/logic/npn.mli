@@ -1,0 +1,29 @@
+(** NPN canonization of small truth tables.
+
+    Two functions are NPN-equivalent when one maps to the other by Negating
+    inputs, Permuting inputs, and/or Negating the output.  The canonical
+    representative is the lexicographically smallest table bit-string over
+    the whole transformation group — exact, by enumeration, so it is
+    restricted to ≤ {!max_vars} (5) variables (5!·2⁶ = 7 680 transforms).
+
+    Used to cache resyntheses in the cut-based MIG rewriter: all cuts in one
+    NPN class share a single optimized implementation. *)
+
+val max_vars : int
+
+type transform = {
+  perm : int array;  (** canonical input i comes from original input perm.(i) *)
+  input_neg : bool array;  (** negate original input before use *)
+  output_neg : bool;
+}
+
+val canonize : Truth_table.t -> Truth_table.t * transform
+(** Canonical table and the transform that produced it. *)
+
+val apply : transform -> Truth_table.t -> Truth_table.t
+(** Apply a transform to a table (sanity/inverse-testing helper). *)
+
+val signals_for : transform -> 'a array -> ('a -> 'a) -> 'a array * bool
+(** [signals_for t inputs negate] rewires an implementation of the canonical
+    function to compute the original: returns the operand array to feed the
+    canonical implementation's inputs, plus whether to negate its output. *)

@@ -1,0 +1,39 @@
+type t = {
+  comb : Network.t;
+  num_pis : int;
+  num_pos : int;
+  init : bool array;
+}
+
+let create comb ~num_pis ~num_pos ~init =
+  let regs = Array.length init in
+  if Network.num_inputs comb <> num_pis + regs then
+    invalid_arg "Seq.create: input count mismatch";
+  if Network.num_outputs comb <> num_pos + regs then
+    invalid_arg "Seq.create: output count mismatch";
+  { comb; num_pis; num_pos; init = Array.copy init }
+
+let combinational t = t.comb
+let num_pis t = t.num_pis
+let num_pos t = t.num_pos
+let num_regs t = Array.length t.init
+let initial_state t = Array.copy t.init
+
+let step t state inputs =
+  if Array.length inputs <> t.num_pis then invalid_arg "Seq.step: input width";
+  if Array.length state <> Array.length t.init then invalid_arg "Seq.step: state width";
+  let all = Network.eval t.comb (Array.append inputs state) in
+  (Array.sub all 0 t.num_pos, Array.sub all t.num_pos (Array.length t.init))
+
+let simulate t stream =
+  let state = ref (Array.copy t.init) in
+  List.map
+    (fun inputs ->
+      let outputs, next = step t !state inputs in
+      state := next;
+      outputs)
+    stream
+
+let pp_stats ppf t =
+  Format.fprintf ppf "pis=%d pos=%d regs=%d core:(%a)" t.num_pis t.num_pos
+    (Array.length t.init) Network.pp_stats t.comb

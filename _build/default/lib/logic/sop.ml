@@ -1,0 +1,131 @@
+type t = { n : int; cubes : Cube.t list }
+
+let create n = { n; cubes = [] }
+let num_vars t = t.n
+let cubes t = t.cubes
+let num_cubes t = List.length t.cubes
+
+let add_cube t c =
+  if Cube.num_vars c <> t.n then invalid_arg "Sop.add_cube: arity mismatch";
+  { t with cubes = c :: t.cubes }
+
+let of_cubes n cubes = List.fold_left add_cube (create n) cubes
+
+let const n v = if v then of_cubes n [ Cube.create n ] else create n
+
+let eval t a = List.exists (fun c -> Cube.eval c a) t.cubes
+
+let to_truth_table t =
+  List.fold_left
+    (fun acc c -> Truth_table.bor acc (Cube.to_truth_table c))
+    (Truth_table.const t.n false)
+    t.cubes
+
+(* Merge two cubes that agree everywhere except one variable where they hold
+   opposite literals; the result drops that variable.  Returns None when the
+   cubes are not mergeable. *)
+let try_merge a b =
+  let n = Cube.num_vars a in
+  let diff = ref None and ok = ref true in
+  for i = 0 to n - 1 do
+    match (Cube.get a i, Cube.get b i) with
+    | x, y when x = y -> ()
+    | Cube.Pos, Cube.Neg | Cube.Neg, Cube.Pos -> (
+        match !diff with None -> diff := Some i | Some _ -> ok := false)
+    | _ -> ok := false
+  done;
+  match (!ok, !diff) with
+  | true, Some i -> Some (Cube.set a i Cube.DC)
+  | _ -> None
+
+let remove_contained cubes =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        if
+          List.exists (fun d -> Cube.contains d c) kept
+          || List.exists (fun d -> Cube.contains d c) rest
+        then go kept rest
+        else go (c :: kept) rest
+  in
+  go [] cubes
+
+let minimize t =
+  let rec fix cubes =
+    let cubes = remove_contained (List.sort_uniq Cube.compare cubes) in
+    let merged = ref [] and changed = ref false in
+    let arr = Array.of_list cubes in
+    let used = Array.make (Array.length arr) false in
+    for i = 0 to Array.length arr - 1 do
+      if not used.(i) then begin
+        let current = ref arr.(i) in
+        for j = i + 1 to Array.length arr - 1 do
+          if not used.(j) then
+            match try_merge !current arr.(j) with
+            | Some m ->
+                current := m;
+                used.(j) <- true;
+                changed := true
+            | None -> ()
+        done;
+        merged := !current :: !merged
+      end
+    done;
+    if !changed then fix !merged else List.rev !merged
+  in
+  { t with cubes = fix t.cubes }
+
+let of_truth_table tt =
+  let n = Truth_table.num_vars tt in
+  let cubes = ref [] in
+  for m = 0 to (1 lsl n) - 1 do
+    if Truth_table.get tt m then begin
+      let c = ref (Cube.create n) in
+      for i = 0 to n - 1 do
+        c := Cube.set !c i (if m land (1 lsl i) <> 0 then Cube.Pos else Cube.Neg)
+      done;
+      cubes := !c :: !cubes
+    end
+  done;
+  minimize (of_cubes n !cubes)
+
+let complement_naive t =
+  (* ¬(c1 ∨ c2 ∨ …) = ¬c1 ∧ ¬c2 ∧ …, each ¬ci a union of single literals. *)
+  let n = t.n in
+  let lits_of_cube c =
+    List.map
+      (fun (i, pos) -> Cube.set (Cube.create n) i (if pos then Cube.Neg else Cube.Pos))
+      (Cube.literals c)
+  in
+  let meet a b =
+    let r = ref a in
+    for i = 0 to n - 1 do
+      match Cube.get b i with
+      | Cube.DC -> ()
+      | lit -> r := Cube.set !r i lit
+    done;
+    !r
+  in
+  let product acc cube_lits =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if Cube.intersects a b then Some (meet a b) else None)
+          cube_lits)
+      acc
+  in
+  match t.cubes with
+  | [] -> const n true
+  | first :: rest ->
+      let acc = List.fold_left (fun acc c -> product acc (lits_of_cube c)) (lits_of_cube first) rest in
+      minimize (of_cubes n acc)
+
+let num_literals t = List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 t.cubes
+
+let equal_semantics a b =
+  a.n = b.n && Truth_table.equal (to_truth_table a) (to_truth_table b)
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+    Cube.pp ppf t.cubes

@@ -1,0 +1,1 @@
+lib/rram/compile_aig.ml: Aig Aig_lib Array Hashtbl Isa List Program

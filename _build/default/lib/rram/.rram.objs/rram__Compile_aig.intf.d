@@ -1,0 +1,1 @@
+lib/rram/compile_aig.mli: Aig_lib Program

@@ -1,0 +1,1 @@
+lib/rram/compile_bdd.ml: Array Bdd Bdd_lib Bdd_of_network Hashtbl Isa List Program

@@ -1,0 +1,1 @@
+lib/rram/compile_bdd.mli: Bdd_lib Program

@@ -1,0 +1,1 @@
+lib/rram/compile_mig.ml: Array Core Hashtbl Isa List Program

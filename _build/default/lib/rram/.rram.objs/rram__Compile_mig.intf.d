@@ -1,0 +1,1 @@
+lib/rram/compile_mig.mli: Core Program

@@ -1,0 +1,1 @@
+lib/rram/energy.ml: Array Interp Isa List Logic Prng Program

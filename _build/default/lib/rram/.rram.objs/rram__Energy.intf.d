@@ -1,0 +1,1 @@
+lib/rram/energy.mli: Program

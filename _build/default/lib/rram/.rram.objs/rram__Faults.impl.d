@@ -1,0 +1,1 @@
+lib/rram/faults.ml: Array Interp Isa List Logic Prng Program

@@ -1,0 +1,1 @@
+lib/rram/faults.mli: Isa Logic Program

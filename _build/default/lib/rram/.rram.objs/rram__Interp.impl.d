@@ -1,0 +1,1 @@
+lib/rram/interp.ml: Array Device Isa List Program

@@ -1,0 +1,1 @@
+lib/rram/interp.mli: Isa Program

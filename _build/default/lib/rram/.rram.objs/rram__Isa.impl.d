@@ -1,0 +1,1 @@
+lib/rram/isa.ml: Format

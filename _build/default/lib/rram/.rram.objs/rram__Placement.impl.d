@@ -1,0 +1,1 @@
+lib/rram/placement.ml: Array Format Hashtbl Isa List Printf Program String

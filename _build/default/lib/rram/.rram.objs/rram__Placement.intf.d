@@ -1,0 +1,1 @@
+lib/rram/placement.mli: Format Program

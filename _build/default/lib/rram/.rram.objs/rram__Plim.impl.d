@@ -1,0 +1,1 @@
+lib/rram/plim.ml: Array Core Format Hashtbl List Verify

@@ -1,0 +1,1 @@
+lib/rram/plim.mli: Core Format

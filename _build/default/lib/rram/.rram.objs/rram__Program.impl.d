@@ -1,0 +1,1 @@
+lib/rram/program.ml: Array Format Hashtbl Isa List

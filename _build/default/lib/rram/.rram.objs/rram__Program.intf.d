@@ -1,0 +1,1 @@
+lib/rram/program.mli: Format Isa

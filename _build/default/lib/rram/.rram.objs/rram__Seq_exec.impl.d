@@ -1,0 +1,1 @@
+lib/rram/seq_exec.ml: Array Compile_mig Core Interp List Logic Prng Program Seq

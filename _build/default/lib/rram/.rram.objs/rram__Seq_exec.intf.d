@@ -1,0 +1,1 @@
+lib/rram/seq_exec.mli: Core Logic Program

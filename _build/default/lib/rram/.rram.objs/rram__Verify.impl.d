@@ -1,0 +1,1 @@
+lib/rram/verify.ml: Array Core Interp List Logic Network Printf Prng Program String

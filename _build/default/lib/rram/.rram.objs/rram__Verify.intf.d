@@ -1,0 +1,1 @@
+lib/rram/verify.mli: Core Logic Program

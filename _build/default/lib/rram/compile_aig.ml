@@ -1,0 +1,177 @@
+open Aig_lib
+
+type mode = [ `Sequential | `Levelized ]
+
+type result = {
+  program : Program.t;
+  aig_nodes : int;
+  measured_rrams : int;
+  measured_steps : int;
+}
+
+let compile ?(mode = `Sequential) aig =
+  let num_inputs = Aig.num_pis aig in
+  let b = Program.Builder.create ~num_inputs in
+  let order = Aig.topo_order aig in
+  let aig_nodes = List.length order in
+  (* Reference counts for result liveness (outputs pin their drivers). *)
+  let refcount = Hashtbl.create 997 in
+  let bump s =
+    let n = Aig.node_of s in
+    if Aig.kind aig n = Aig.And then
+      Hashtbl.replace refcount n (1 + try Hashtbl.find refcount n with Not_found -> 0)
+  in
+  List.iter
+    (fun n ->
+      let f0, f1 = Aig.fanins aig n in
+      bump f0;
+      bump f1)
+    order;
+  Array.iter bump (Aig.pos aig);
+  (* Prologue: every primary input is staged into a device once, so it can
+     serve as an implication source. *)
+  let input_reg = Array.init num_inputs (fun _ -> Program.Builder.alloc b) in
+  Program.Builder.push_step b
+    (List.init num_inputs (fun i -> Isa.Load (input_reg.(i), Isa.Input i)));
+  let result_reg = Hashtbl.create 997 in
+  (* Plain-value register of a node (not a signal). *)
+  let node_reg n =
+    match Aig.kind aig n with
+    | Aig.Pi k -> input_reg.(k)
+    | Aig.And -> Hashtbl.find result_reg n
+    | Aig.Const -> invalid_arg "Compile_aig: constant fanin should be folded"
+  in
+  let release s =
+    let n = Aig.node_of s in
+    if Aig.kind aig n = Aig.And then begin
+      let c = Hashtbl.find refcount n - 1 in
+      Hashtbl.replace refcount n c;
+      if c = 0 then Program.Builder.free b (Hashtbl.find result_reg n)
+    end
+  in
+  (* Emit one AND node; returns (load, pre_inv, s1, s2, s3, temps) where the
+     step slots may be empty lists. *)
+  let emit_node n =
+    let f0, f1 = Aig.fanins aig n in
+    (* prefer a complemented fanin in the b role: its ¬b is a plain copy *)
+    let a_sig, b_sig = if Aig.is_compl f0 && not (Aig.is_compl f1) then (f1, f0) else (f0, f1) in
+    let r1 = Program.Builder.alloc b in
+    let r2 = Program.Builder.alloc b in
+    let load = ref [ Isa.Reset r2 ] in
+    let temps = ref [ r1 ] in
+    (* r1 must end holding ¬b *)
+    let s1 =
+      if Aig.is_compl b_sig then begin
+        (* ¬b = plain source value: a direct copy during loading *)
+        load := Isa.Load (r1, Isa.Reg (node_reg (Aig.node_of b_sig))) :: !load;
+        []
+      end
+      else begin
+        load := Isa.Reset r1 :: !load;
+        [ Isa.Imp { src = node_reg (Aig.node_of b_sig); dst = r1 } ]
+      end
+    in
+    (* a must be available as a register holding its value *)
+    let pre_inv = ref [] in
+    let a_reg =
+      if Aig.is_compl a_sig then begin
+        let rx = Program.Builder.alloc b in
+        temps := rx :: !temps;
+        load := Isa.Reset rx :: !load;
+        pre_inv := [ Isa.Imp { src = node_reg (Aig.node_of a_sig); dst = rx } ];
+        rx
+      end
+      else node_reg (Aig.node_of a_sig)
+    in
+    let s2 = [ Isa.Imp { src = a_reg; dst = r1 } ] in
+    let s3 = [ Isa.Imp { src = r1; dst = r2 } ] in
+    Hashtbl.replace result_reg n r2;
+    (List.rev !load, !pre_inv, s1, s2, s3, !temps)
+  in
+  (match mode with
+  | `Sequential ->
+      List.iter
+        (fun n ->
+          let load, pre_inv, s1, s2, s3, temps = emit_node n in
+          Program.Builder.push_step b load;
+          Program.Builder.push_step b pre_inv;
+          Program.Builder.push_step b s1;
+          Program.Builder.push_step b s2;
+          Program.Builder.push_step b s3;
+          List.iter (Program.Builder.free b) temps;
+          let f0, f1 = Aig.fanins aig n in
+          release f0;
+          release f1)
+        order
+  | `Levelized ->
+      let levels, _depth = Aig.levels aig in
+      let by_level = Hashtbl.create 97 in
+      List.iter
+        (fun n ->
+          let l = levels.(n) in
+          Hashtbl.replace by_level l (n :: (try Hashtbl.find by_level l with Not_found -> [])))
+        order;
+      let max_level = List.fold_left (fun acc n -> max acc levels.(n)) 0 order in
+      for l = 1 to max_level do
+        match Hashtbl.find_opt by_level l with
+        | None -> ()
+        | Some nodes ->
+            let nodes = List.rev nodes in
+            let slots = Array.make 5 [] in
+            let temps = ref [] in
+            List.iter
+              (fun n ->
+                let load, pre_inv, s1, s2, s3, t = emit_node n in
+                slots.(0) <- slots.(0) @ load;
+                slots.(1) <- slots.(1) @ pre_inv;
+                slots.(2) <- slots.(2) @ s1;
+                slots.(3) <- slots.(3) @ s2;
+                slots.(4) <- slots.(4) @ s3;
+                temps := t @ !temps)
+              nodes;
+            Array.iter (fun s -> Program.Builder.push_step b s) slots;
+            List.iter (Program.Builder.free b) !temps;
+            List.iter
+              (fun n ->
+                let f0, f1 = Aig.fanins aig n in
+                release f0;
+                release f1)
+              nodes
+      done);
+  (* Outputs: complemented drivers get a shared final inversion. *)
+  let final_preset = ref [] and final_inv = ref [] in
+  let memo = Hashtbl.create 17 in
+  let outputs =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt memo s with
+        | Some o -> o
+        | None ->
+            let n = Aig.node_of s and c = Aig.is_compl s in
+            let invert_of src =
+              let inv = Program.Builder.alloc b in
+              final_preset := Isa.Reset inv :: !final_preset;
+              final_inv := Isa.Imp { src; dst = inv } :: !final_inv;
+              Isa.Reg inv
+            in
+            let o =
+              match Aig.kind aig n with
+              | Aig.Const -> Isa.Const c
+              | Aig.Pi k -> if c then invert_of input_reg.(k) else Isa.Input k
+              | Aig.And ->
+                  if c then invert_of (Hashtbl.find result_reg n)
+                  else Isa.Reg (Hashtbl.find result_reg n)
+            in
+            Hashtbl.replace memo s o;
+            o)
+      (Aig.pos aig)
+  in
+  Program.Builder.push_step b !final_preset;
+  Program.Builder.push_step b !final_inv;
+  let program = Program.Builder.finish b ~outputs in
+  {
+    program;
+    aig_nodes;
+    measured_rrams = program.Program.num_regs;
+    measured_steps = Program.num_steps program;
+  }

@@ -1,0 +1,28 @@
+(** Level-by-level compilation of a MIG into an RRAM program (§III-B).
+
+    For each MIG level, the compiler emits: one data-loading step (operand
+    copies, FALSE presets), one complement step when the level has
+    complemented ingoing edges (all inversions in parallel), and the gate
+    steps of the chosen realization — 9 for IMP (steps 02–10 of §III-A.1,
+    the load being step 01) or 2 for MAJ (§III-A.2).  Complemented primary
+    outputs get a final readout-inversion step.  Thus the measured step
+    count equals the Table I formula [S = K·D + L] exactly, which
+    [test/test_rram.ml] asserts.
+
+    The measured RRAM count (crossbar size) can exceed the analytic
+    [R = max(K·N_i + C_i)] because results whose consumers sit several
+    levels higher stay alive across levels, and complemented primary-input
+    operands need a staging device; the paper's analytic model ignores
+    both.  Both numbers are reported. *)
+
+type result = {
+  program : Program.t;
+  analytic : Core.Rram_cost.cost;  (** Table I formula *)
+  measured_rrams : int;
+  measured_steps : int;
+}
+
+val compile :
+  ?schedule:Core.Mig_levels.t -> Core.Rram_cost.realization -> Core.Mig.t -> result
+(** [schedule] overrides the default ASAP level assignment (see
+    {!Core.Mig_schedule}); it must be dependency-valid. *)

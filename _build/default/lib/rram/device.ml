@@ -1,0 +1,16 @@
+type t = { mutable state : bool }
+
+let create () = { state = false }
+let read d = d.state
+let clear d = d.state <- false
+let set d = d.state <- true
+let write d v = d.state <- v
+
+let imp_pulse ~p ~q =
+  (* V_COND on P cannot switch P; the interaction sets Q when P is 0. *)
+  q.state <- (not p.state) || q.state
+
+let maj_pulse r ~p ~q =
+  (* Fig. 2: R' = P·Q̄ when R = 0 and P + Q̄ when R = 1, i.e. M(P, ¬Q, R). *)
+  let nq = not q in
+  r.state <- (p && nq) || ((p || nq) && r.state)

@@ -1,0 +1,30 @@
+(** Functional model of a single bipolar RRAM device.
+
+    The state is the internal resistance: [true] = low resistance = logic 1,
+    [false] = high resistance = logic 0.  The three operations below are the
+    three voltage configurations of the paper:
+
+    - {!clear}: V_CLEAR resets to 0 (the FALSE operation);
+    - {!imp_pulse}: V_COND on device P and V_SET on device Q execute material
+      implication, [q' = ¬p ∨ q] (Fig. 1, after Borghetti et al.);
+    - {!maj_pulse}: driving the two terminals with the voltage levels encoded
+      by logic values P and Q switches the device to
+      [R' = P·R + ¬Q·R + P·¬Q = M(P, ¬Q, R)] (Fig. 2) — the intrinsic
+      resistive-majority operation. *)
+
+type t
+
+val create : unit -> t
+(** A fresh device in the 0 (high-resistance) state. *)
+
+val read : t -> bool
+val clear : t -> unit
+val set : t -> unit
+val write : t -> bool -> unit
+(** Data loading: V_SET or V_CLEAR depending on the value. *)
+
+val imp_pulse : p:t -> q:t -> unit
+(** [q ← p IMP q].  [p] is unchanged. *)
+
+val maj_pulse : t -> p:bool -> q:bool -> unit
+(** [r ← M(p, ¬q, r)]. *)

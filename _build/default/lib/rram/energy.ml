@@ -1,0 +1,49 @@
+open Logic
+
+type pulse_counts = { loads : int; resets : int; imps : int; maj_pulses : int }
+
+let static_counts (p : Program.t) =
+  List.fold_left
+    (fun acc step ->
+      List.fold_left
+        (fun acc micro ->
+          match micro with
+          | Isa.Load _ -> { acc with loads = acc.loads + 1 }
+          | Isa.Reset _ -> { acc with resets = acc.resets + 1 }
+          | Isa.Imp _ -> { acc with imps = acc.imps + 1 }
+          | Isa.Maj_pulse _ -> { acc with maj_pulses = acc.maj_pulses + 1 })
+        acc step)
+    { loads = 0; resets = 0; imps = 0; maj_pulses = 0 }
+    p.Program.steps
+
+let total_pulses c = c.loads + c.resets + c.imps + c.maj_pulses
+
+type weights = { load : float; reset : float; imp : float; maj : float }
+
+let default_weights = { load = 1.0; reset = 1.0; imp = 1.2; maj = 1.0 }
+
+let static_energy ?(weights = default_weights) p =
+  let c = static_counts p in
+  (weights.load *. float_of_int c.loads)
+  +. (weights.reset *. float_of_int c.resets)
+  +. (weights.imp *. float_of_int c.imps)
+  +. (weights.maj *. float_of_int c.maj_pulses)
+
+let switching_activity ?(seed = 0xE7E) ?(vectors = 32) (p : Program.t) =
+  let rng = Prng.create seed in
+  let n = p.Program.num_inputs in
+  let flips = ref 0 in
+  for _ = 1 to vectors do
+    let input = Array.init n (fun _ -> Prng.bool rng) in
+    let previous = ref None in
+    ignore
+      (Interp.run
+         ~trace:(fun _ _ states ->
+           (match !previous with
+           | Some old ->
+               Array.iteri (fun i s -> if s <> old.(i) then incr flips) states
+           | None -> Array.iter (fun s -> if s then incr flips) states);
+           previous := Some states)
+         p input)
+  done;
+  float_of_int !flips /. float_of_int vectors

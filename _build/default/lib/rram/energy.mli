@@ -1,0 +1,41 @@
+(** Pulse and energy accounting for compiled programs (extension).
+
+    The paper's latency metric counts {e steps}; each step applies one or
+    more voltage pulses, and in RRAM technology the switching pulses
+    dominate energy.  This module counts the pulses a program applies —
+    statically (every micro-op) and dynamically (only the pulses that
+    actually flip a device, averaged over executed vectors) — and converts
+    them to energy with per-pulse weights.
+
+    Default weights are in arbitrary units with the commonly reported
+    relation E(SET) ≈ E(RESET) ≫ read energy; change them to a device
+    calibration to get joules. *)
+
+type pulse_counts = {
+  loads : int;
+  resets : int;
+  imps : int;
+  maj_pulses : int;
+}
+
+val static_counts : Program.t -> pulse_counts
+(** Micro-ops per kind over the whole program. *)
+
+val total_pulses : pulse_counts -> int
+
+type weights = {
+  load : float;
+  reset : float;
+  imp : float;
+  maj : float;
+}
+
+val default_weights : weights
+(** load = 1.0, reset = 1.0, imp = 1.2, maj = 1.0 (a.u.). *)
+
+val static_energy : ?weights:weights -> Program.t -> float
+
+val switching_activity :
+  ?seed:int -> ?vectors:int -> Program.t -> float
+(** Average number of device {e state flips} per execution over random
+    input vectors — the dynamic component a pulse-count bound ignores. *)

@@ -1,0 +1,45 @@
+open Logic
+
+type injection = { cell : Isa.reg; value : bool }
+
+let random_faults rng ~num_cells ~rate =
+  let acc = ref [] in
+  for cell = 0 to num_cells - 1 do
+    if Prng.float rng < rate then acc := { cell; value = Prng.bool rng } :: !acc
+  done;
+  !acc
+
+let survives program ~reference faults vectors =
+  let stuck = List.map (fun { cell; value } -> (cell, value)) faults in
+  List.for_all
+    (fun v -> Interp.run ~stuck program v = reference v)
+    vectors
+
+type yield_result = {
+  trials : int;
+  survivors : int;
+  yield : float;
+  mean_faults : float;
+}
+
+let functional_yield ?(seed = 0xFA17) ?(trials = 200) ?(vectors = 24) ~rate program
+    ~reference =
+  let rng = Prng.create seed in
+  let n = program.Program.num_inputs in
+  let test_vectors =
+    Array.make n false
+    :: Array.make n true
+    :: List.init vectors (fun _ -> Array.init n (fun _ -> Prng.bool rng))
+  in
+  let survivors = ref 0 and total_faults = ref 0 in
+  for _ = 1 to trials do
+    let faults = random_faults rng ~num_cells:program.Program.num_regs ~rate in
+    total_faults := !total_faults + List.length faults;
+    if survives program ~reference faults test_vectors then incr survivors
+  done;
+  {
+    trials;
+    survivors = !survivors;
+    yield = float_of_int !survivors /. float_of_int trials;
+    mean_faults = float_of_int !total_faults /. float_of_int trials;
+  }

@@ -1,0 +1,39 @@
+(** Stuck-at fault injection and Monte-Carlo yield estimation (extension).
+
+    RRAM endurance failures manifest as cells stuck in the low- or
+    high-resistance state.  This module samples random stuck-at fault sets
+    over a compiled program's crossbar and measures the functional yield —
+    the fraction of fault configurations under which the program still
+    computes its function on a set of test vectors.
+
+    Because the two realizations need different device counts per gate
+    (6 vs 4) and different step counts, they expose different fault
+    surfaces; the [voter] example and the bench ablation quantify this. *)
+
+type injection = { cell : Isa.reg; value : bool }
+
+val random_faults : Logic.Prng.t -> num_cells:int -> rate:float -> injection list
+(** Each cell is independently stuck with probability [rate] (value
+    uniform). *)
+
+val survives :
+  Program.t -> reference:(bool array -> bool array) -> injection list -> bool array list -> bool
+(** Does the faulty program still match the reference on every vector? *)
+
+type yield_result = {
+  trials : int;
+  survivors : int;
+  yield : float;
+  mean_faults : float;
+}
+
+val functional_yield :
+  ?seed:int ->
+  ?trials:int ->
+  ?vectors:int ->
+  rate:float ->
+  Program.t ->
+  reference:(bool array -> bool array) ->
+  yield_result
+(** Monte-Carlo yield at the given per-cell fault rate; test vectors are
+    random (plus the all-zero and all-one corners). *)

@@ -1,0 +1,54 @@
+let run ?(stuck = []) ?trace (program : Program.t) inputs =
+  if Array.length inputs <> program.Program.num_inputs then
+    invalid_arg "Interp.run: input count";
+  let devices = Array.init program.Program.num_regs (fun _ -> Device.create ()) in
+  let enforce_stuck () =
+    List.iter
+      (fun (r, v) -> if r < Array.length devices then Device.write devices.(r) v)
+      stuck
+  in
+  enforce_stuck ();
+  let operand_value = function
+    | Isa.Input i -> inputs.(i)
+    | Isa.Reg r -> Device.read devices.(r)
+    | Isa.Const b -> b
+  in
+  List.iteri
+    (fun idx step ->
+      (* Parallel semantics: latch all source values before any write. *)
+      let actions =
+        List.map
+          (fun micro ->
+            match micro with
+            | Isa.Load (r, o) ->
+                let v = operand_value o in
+                fun () -> Device.write devices.(r) v
+            | Isa.Reset r -> fun () -> Device.clear devices.(r)
+            | Isa.Imp { src; dst } ->
+                let p = Device.read devices.(src) in
+                (* imp_pulse reads p at pulse time; p was latched, emulate by
+                   a one-device scratch holding the latched value *)
+                fun () ->
+                  let scratch = Device.create () in
+                  Device.write scratch p;
+                  Device.imp_pulse ~p:scratch ~q:devices.(dst)
+            | Isa.Maj_pulse { p; q; dst } ->
+                let pv = operand_value p and qv = operand_value q in
+                fun () -> Device.maj_pulse devices.(dst) ~p:pv ~q:qv)
+          step
+      in
+      List.iter (fun act -> act ()) actions;
+      enforce_stuck ();
+      match trace with
+      | Some f -> f (idx + 1) step (Array.map Device.read devices)
+      | None -> ())
+    program.Program.steps;
+  Array.map
+    (fun o ->
+      match o with
+      | Isa.Input i -> inputs.(i)
+      | Isa.Reg r -> Device.read devices.(r)
+      | Isa.Const b -> b)
+    program.Program.outputs
+
+let run_vectors program vectors = List.map (run program) vectors

@@ -1,0 +1,20 @@
+(** Interpreter: executes an RRAM program on a crossbar of {!Device}s.
+
+    Steps have parallel semantics — every micro-operation in a step reads the
+    pre-step device states; this matches the hardware, where all pulses of a
+    step are applied in the same clock.  A trace callback can observe every
+    executed step (used by the [crossbar_trace] example). *)
+
+val run :
+  ?stuck:(Isa.reg * bool) list ->
+  ?trace:(int -> Isa.step -> bool array -> unit) ->
+  Program.t ->
+  bool array ->
+  bool array
+(** [run program inputs] returns one boolean per program output.  The trace
+    callback receives the 1-based step index, the step, and the post-step
+    device states.  [stuck] models stuck-at device faults: the listed cells
+    ignore every pulse and always read the given value (used by
+    {!Faults}). *)
+
+val run_vectors : Program.t -> bool array list -> bool array list

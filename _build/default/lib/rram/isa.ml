@@ -1,0 +1,39 @@
+type reg = int
+type operand = Input of int | Reg of reg | Const of bool
+
+type micro =
+  | Load of reg * operand
+  | Reset of reg
+  | Imp of { src : reg; dst : reg }
+  | Maj_pulse of { p : operand; q : operand; dst : reg }
+
+type step = micro list
+
+let micro_dst = function
+  | Load (r, _) -> r
+  | Reset r -> r
+  | Imp { dst; _ } -> dst
+  | Maj_pulse { dst; _ } -> dst
+
+let micro_reads = function
+  | Load (_, o) -> [ o ]
+  | Reset _ -> []
+  | Imp { src; dst } -> [ Reg src; Reg dst ]
+  | Maj_pulse { p; q; dst } -> [ p; q; Reg dst ]
+
+let pp_operand ppf = function
+  | Input i -> Format.fprintf ppf "in%d" i
+  | Reg r -> Format.fprintf ppf "r%d" r
+  | Const b -> Format.fprintf ppf "%d" (if b then 1 else 0)
+
+let pp_micro ppf = function
+  | Load (r, o) -> Format.fprintf ppf "r%d := %a" r pp_operand o
+  | Reset r -> Format.fprintf ppf "r%d := FALSE" r
+  | Imp { src; dst } -> Format.fprintf ppf "r%d <- r%d IMP r%d" dst src dst
+  | Maj_pulse { p; q; dst } ->
+      Format.fprintf ppf "r%d <- MAJ(%a, ~%a, r%d)" dst pp_operand p pp_operand q dst
+
+let pp_step ppf step =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " || ")
+    pp_micro ppf step

@@ -1,0 +1,33 @@
+(** Instruction set for RRAM in-memory programs.
+
+    A program is a sequence of {e steps}; all micro-operations inside a step
+    execute in the same clock (they must touch disjoint destination devices;
+    {!Program.validate} checks this).  The step count of a program is the
+    latency metric "S" of the paper.
+
+    Operand values are logic levels available to the voltage drivers: a
+    primary-input line, the state of another RRAM (read non-destructively),
+    or a constant rail. *)
+
+type reg = int
+(** RRAM index within the crossbar. *)
+
+type operand =
+  | Input of int  (** primary-input line *)
+  | Reg of reg  (** state of another device *)
+  | Const of bool  (** V_SET / V_CLEAR rail *)
+
+type micro =
+  | Load of reg * operand  (** data loading (write-through) *)
+  | Reset of reg  (** FALSE *)
+  | Imp of { src : reg; dst : reg }  (** [dst ← src IMP dst] *)
+  | Maj_pulse of { p : operand; q : operand; dst : reg }
+      (** [dst ← M(p, ¬q, dst)] — the intrinsic majority *)
+
+type step = micro list
+
+val micro_dst : micro -> reg
+val micro_reads : micro -> operand list
+val pp_operand : Format.formatter -> operand -> unit
+val pp_micro : Format.formatter -> micro -> unit
+val pp_step : Format.formatter -> step -> unit

@@ -1,0 +1,112 @@
+type t = {
+  rows : int;
+  columns : int;
+  row_of : int array;
+  column_of : int array;
+  utilization : float;
+}
+
+(* Union-find over registers. *)
+let find parent x =
+  let rec go x = if parent.(x) = x then x else go parent.(x) in
+  let root = go x in
+  let rec compress x =
+    if parent.(x) <> root then begin
+      let next = parent.(x) in
+      parent.(x) <- root;
+      compress next
+    end
+  in
+  compress x;
+  root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let place (p : Program.t) =
+  let n = max 1 p.Program.num_regs in
+  let parent = Array.init n (fun i -> i) in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun micro ->
+          match micro with
+          | Isa.Imp { src; dst } -> union parent src dst
+          | Isa.Load _ | Isa.Reset _ | Isa.Maj_pulse _ -> ())
+        step)
+    p.Program.steps;
+  (* collect clusters *)
+  let clusters = Hashtbl.create 97 in
+  for r = 0 to p.Program.num_regs - 1 do
+    let root = find parent r in
+    Hashtbl.replace clusters root (r :: (try Hashtbl.find clusters root with Not_found -> []))
+  done;
+  let cluster_list =
+    Hashtbl.fold (fun _ regs acc -> List.rev regs :: acc) clusters []
+    |> List.sort (fun a b -> compare (List.length b) (List.length a))
+  in
+  (* rows sized to the largest cluster; first-fit-decreasing packing *)
+  let columns = List.fold_left (fun acc c -> max acc (List.length c)) 1 cluster_list in
+  let row_of = Array.make n 0 and column_of = Array.make n 0 in
+  let rows = ref [] in
+  (* each row: remaining capacity *)
+  List.iter
+    (fun cluster ->
+      let size = List.length cluster in
+      let rec fit i = function
+        | [] ->
+            rows := !rows @ [ ref (columns - size) ];
+            List.length !rows - 1
+        | slot :: rest ->
+            if !slot >= size then begin
+              slot := !slot - size;
+              i
+            end
+            else fit (i + 1) rest
+      in
+      let row = fit 0 !rows in
+      let used =
+        columns - !(List.nth !rows row) - size
+      in
+      List.iteri
+        (fun k reg ->
+          row_of.(reg) <- row;
+          column_of.(reg) <- used + k)
+        cluster)
+    cluster_list;
+  let num_rows = max 1 (List.length !rows) in
+  {
+    rows = num_rows;
+    columns;
+    row_of;
+    column_of;
+    utilization =
+      float_of_int p.Program.num_regs /. float_of_int (num_rows * columns);
+  }
+
+let validate (p : Program.t) t =
+  let errors = ref [] in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun micro ->
+          match micro with
+          | Isa.Imp { src; dst } ->
+              if t.row_of.(src) <> t.row_of.(dst) then
+                errors := Printf.sprintf "IMP %d->%d crosses rows" src dst :: !errors
+          | _ -> ())
+        step)
+    p.Program.steps;
+  let seen = Hashtbl.create 97 in
+  for r = 0 to p.Program.num_regs - 1 do
+    let site = (t.row_of.(r), t.column_of.(r)) in
+    if Hashtbl.mem seen site then
+      errors := Printf.sprintf "register %d shares a site" r :: !errors
+    else Hashtbl.replace seen site r
+  done;
+  match !errors with [] -> Ok () | e -> Error (String.concat "; " (List.rev e))
+
+let pp ppf t =
+  Format.fprintf ppf "%d x %d array, %.0f%% utilized" t.rows t.columns
+    (100.0 *. t.utilization)

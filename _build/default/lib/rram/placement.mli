@@ -1,0 +1,39 @@
+(** Crossbar placement (extension).
+
+    Fig. 3 of the paper realizes a gate as devices sharing one horizontal
+    nanowire through a load resistor: the devices of one gate must sit on
+    the same row, and a row executes one gate at a time.  This module
+    assigns the registers of a compiled program to a physical
+    rows × columns array under that constraint:
+
+    - registers that interact through {!Isa.Imp} pulses (p and q share the
+      nanowire) are grouped into row-clusters by union-find;
+    - clusters are packed onto rows first-fit-decreasing;
+    - {!Isa.Maj_pulse} and {!Isa.Load} are driven through the top
+      electrodes, so they impose no row constraint.
+
+    The result reports the array geometry a controller would need —
+    rows, row width (columns), utilization.
+
+    Caveat: the compiler's register reuse makes one physical device serve
+    many gates over time, so the transitive IMP-interaction clusters can
+    merge into few long rows (IMP realization) or none at all (MAJ programs
+    have no IMP pulses, so every device is row-free).  The numbers are an
+    honest worst case for the given program; row-aware register allocation
+    that splits clusters is future work. *)
+
+type t = {
+  rows : int;
+  columns : int;  (** width of the widest row *)
+  row_of : int array;  (** register -> row *)
+  column_of : int array;  (** register -> column within its row *)
+  utilization : float;  (** registers / (rows × columns) *)
+}
+
+val place : Program.t -> t
+
+val validate : Program.t -> t -> (unit, string) result
+(** Every IMP pulse's source and destination must share a row, and no two
+    registers may share a (row, column) site. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+open Logic
+
+type t = {
+  program : Program.t;
+  num_pis : int;
+  num_pos : int;
+  init : bool array;
+}
+
+let compile ?(algorithm = Core.Mig_opt.Steps) ?effort realization seq =
+  let mig =
+    Core.Mig_opt.run ?effort algorithm (Core.Mig_of_network.convert (Seq.combinational seq))
+  in
+  let compiled = Compile_mig.compile realization mig in
+  {
+    program = compiled.Compile_mig.program;
+    num_pis = Seq.num_pis seq;
+    num_pos = Seq.num_pos seq;
+    init = Seq.initial_state seq;
+  }
+
+let steps_per_cycle t = Program.num_steps t.program
+let rrams t = t.program.Program.num_regs
+let program t = t.program
+
+let run t stream =
+  let state = ref (Array.copy t.init) in
+  List.map
+    (fun inputs ->
+      if Array.length inputs <> t.num_pis then invalid_arg "Seq_exec.run: input width";
+      let all = Interp.run t.program (Array.append inputs !state) in
+      state := Array.sub all t.num_pos (Array.length t.init);
+      Array.sub all 0 t.num_pos)
+    stream
+
+let verify t seq ?(cycles = 64) ?(seed = 0x5EC) () =
+  if Seq.num_pis seq <> t.num_pis then Error "input count mismatch"
+  else begin
+    let rng = Prng.create seed in
+    let stream =
+      List.init cycles (fun _ -> Array.init t.num_pis (fun _ -> Prng.bool rng))
+    in
+    let expect = Seq.simulate seq stream in
+    let got = run t stream in
+    if expect = got then Ok ()
+    else Error "crossbar execution diverged from the sequential reference"
+  end

@@ -1,0 +1,39 @@
+open Logic
+
+let exhaustive_limit = 12
+
+let vectors ?(seed = 0xBEEF) ?(random_count = 256) n =
+  if n <= exhaustive_limit then
+    List.init (1 lsl n) (fun m -> Array.init n (fun i -> m land (1 lsl i) <> 0))
+  else begin
+    let rng = Prng.create seed in
+    Array.make n false
+    :: Array.make n true
+    :: List.init random_count (fun _ -> Array.init n (fun _ -> Prng.bool rng))
+  end
+
+let check ?seed program ~n ~reference =
+  let vecs = vectors ?seed n in
+  let rec go = function
+    | [] -> Ok ()
+    | v :: rest ->
+        let got = Interp.run program v in
+        let want = reference v in
+        if got = want then go rest
+        else
+          Error
+            (Printf.sprintf "mismatch on input %s: program %s, reference %s"
+               (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list v)))
+               (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list got)))
+               (String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list want))))
+  in
+  go vecs
+
+let against_mig ?seed program mig =
+  if Core.Mig.num_pis mig <> program.Program.num_inputs then Error "input count mismatch"
+  else check ?seed program ~n:(Core.Mig.num_pis mig) ~reference:(Core.Mig_sim.eval mig)
+
+let against_network ?seed program net =
+  if Network.num_inputs net <> program.Program.num_inputs then
+    Error "input count mismatch"
+  else check ?seed program ~n:(Network.num_inputs net) ~reference:(Network.eval net)

@@ -1,0 +1,16 @@
+(** End-to-end verification: a compiled RRAM program must compute the same
+    function as its source representation, executed on the device
+    simulator.  Exhaustive for small input counts, seeded random vectors
+    above. *)
+
+val exhaustive_limit : int
+(** 12 inputs. *)
+
+val vectors : ?seed:int -> ?random_count:int -> int -> bool array list
+(** Test vectors for [n] inputs: all [2^n] if [n ≤ exhaustive_limit],
+    otherwise [random_count] (default 256) random vectors plus the all-zero
+    and all-one corners. *)
+
+val against_mig : ?seed:int -> Program.t -> Core.Mig.t -> (unit, string) result
+val against_network :
+  ?seed:int -> Program.t -> Logic.Network.t -> (unit, string) result

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig_lib Alcotest Array Io List Logic Network Printf Prng QCheck QCheck_alcotest Truth_table

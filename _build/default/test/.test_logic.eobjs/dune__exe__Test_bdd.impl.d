@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd_lib Funcgen List Logic Network Prng QCheck QCheck_alcotest Truth_table

@@ -1,0 +1,1 @@
+test/test_boolean.ml: Alcotest Array Core Cube Espresso Funcgen Hashtbl List Logic Npn Prng QCheck QCheck_alcotest Sop Truth_table

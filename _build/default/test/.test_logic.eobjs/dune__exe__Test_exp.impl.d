@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Core Exp Io List Logic Option QCheck QCheck_alcotest Rram

@@ -1,0 +1,1 @@
+test/test_io.ml: Aig_lib Alcotest Array Bitvec Core Funcgen Io List Logic Network Prng String Truth_table

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Bitvec Cube Funcgen List Logic Network Printf Prng QCheck QCheck_alcotest Sop Truth_table

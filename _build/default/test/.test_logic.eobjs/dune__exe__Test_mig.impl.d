@@ -1,0 +1,1 @@
+test/test_mig.ml: Alcotest Array Core Funcgen Hashtbl List Logic Prng QCheck QCheck_alcotest Rram Truth_table

@@ -1,0 +1,1 @@
+test/test_rram.ml: Aig_lib Alcotest Array Bdd_lib Core Funcgen List Logic Printf Prng QCheck QCheck_alcotest Rram

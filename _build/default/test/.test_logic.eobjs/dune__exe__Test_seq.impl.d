@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Array Core Funcgen Io List Logic Network Printf Prng QCheck QCheck_alcotest Rram Seq

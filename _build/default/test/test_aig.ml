@@ -1,0 +1,168 @@
+open Logic
+module A = Aig_lib.Aig
+
+let random_aig seed ~pis ~gates ~pos =
+  let rng = Prng.create seed in
+  let aig = A.create () in
+  let signals = ref [| A.const0 |] in
+  let add s = signals := Array.append !signals [| s |] in
+  for _ = 1 to pis do
+    add (A.add_pi aig)
+  done;
+  for _ = 1 to gates do
+    let pick () =
+      let s = Prng.pick rng !signals in
+      if Prng.bool rng then A.not_ s else s
+    in
+    add (A.and_ aig (pick ()) (pick ()))
+  done;
+  for _ = 1 to pos do
+    let s = Prng.pick rng !signals in
+    ignore (A.add_po aig (if Prng.bool rng then A.not_ s else s))
+  done;
+  aig
+
+let equal_aig a b =
+  A.num_pis a = A.num_pis b
+  && A.num_pos a = A.num_pos b
+  && Array.for_all2 Truth_table.equal (A.truth_tables a) (A.truth_tables b)
+
+let basic_tests =
+  let open Alcotest in
+  [
+    test_case "and simplifications" `Quick (fun () ->
+        let aig = A.create () in
+        let a = A.add_pi aig in
+        check int "a & 0" A.const0 (A.and_ aig a A.const0);
+        check int "a & 1" a (A.and_ aig a A.const1);
+        check int "a & a" a (A.and_ aig a a);
+        check int "a & ~a" A.const0 (A.and_ aig a (A.not_ a)));
+    test_case "strashing shares" `Quick (fun () ->
+        let aig = A.create () in
+        let a = A.add_pi aig and b = A.add_pi aig in
+        check int "commutative" (A.and_ aig a b) (A.and_ aig b a));
+    test_case "or/xor/mux semantics" `Quick (fun () ->
+        let aig = A.create () in
+        let a = A.add_pi aig and b = A.add_pi aig and c = A.add_pi aig in
+        ignore (A.add_po aig (A.or_ aig a b));
+        ignore (A.add_po aig (A.xor_ aig a b));
+        ignore (A.add_po aig (A.mux aig a b c));
+        ignore (A.add_po aig (A.maj3 aig a b c));
+        let tts = A.truth_tables aig in
+        let va = Truth_table.var 3 0 and vb = Truth_table.var 3 1 and vc = Truth_table.var 3 2 in
+        check bool "or" true (Truth_table.equal tts.(0) (Truth_table.bor va vb));
+        check bool "xor" true (Truth_table.equal tts.(1) (Truth_table.bxor va vb));
+        check bool "mux" true (Truth_table.equal tts.(2) (Truth_table.mux va vb vc));
+        check bool "maj" true (Truth_table.equal tts.(3) (Truth_table.maj3 va vb vc)));
+    test_case "levels of a chain" `Quick (fun () ->
+        let aig = A.create () in
+        let pis = Array.init 5 (fun _ -> A.add_pi aig) in
+        let acc = ref pis.(0) in
+        for i = 1 to 4 do
+          acc := A.and_ aig !acc pis.(i)
+        done;
+        ignore (A.add_po aig !acc);
+        let _, depth = A.levels aig in
+        check int "depth" 4 depth);
+    test_case "size counts only live nodes" `Quick (fun () ->
+        let aig = A.create () in
+        let a = A.add_pi aig and b = A.add_pi aig in
+        let _dead = A.and_ aig a b in
+        let live = A.or_ aig a b in
+        ignore (A.add_po aig live);
+        check int "live ands" 1 (A.size aig));
+  ]
+
+let balance_tests =
+  let open Alcotest in
+  [
+    test_case "balance flattens an AND chain" `Quick (fun () ->
+        let aig = A.create () in
+        let pis = Array.init 8 (fun _ -> A.add_pi aig) in
+        let acc = ref pis.(0) in
+        for i = 1 to 7 do
+          acc := A.and_ aig !acc pis.(i)
+        done;
+        ignore (A.add_po aig !acc);
+        let balanced = Aig_lib.Aig_balance.balance aig in
+        let _, d0 = A.levels aig and _, d1 = A.levels balanced in
+        check int "before" 7 d0;
+        check int "after" 3 d1;
+        check bool "same function" true (equal_aig aig balanced));
+    test_case "balance respects complemented edges" `Quick (fun () ->
+        let aig = A.create () in
+        let pis = Array.init 6 (fun _ -> A.add_pi aig) in
+        let acc = ref pis.(0) in
+        for i = 1 to 5 do
+          acc := A.not_ (A.and_ aig !acc pis.(i))
+        done;
+        ignore (A.add_po aig !acc);
+        let balanced = Aig_lib.Aig_balance.balance aig in
+        check bool "same function" true (equal_aig aig balanced));
+  ]
+
+let rewrite_tests =
+  let open Alcotest in
+  [
+    test_case "absorption" `Quick (fun () ->
+        let aig = A.create () in
+        let a = A.add_pi aig and b = A.add_pi aig in
+        let ab = A.and_ aig a b in
+        ignore (A.add_po aig (A.and_ aig ab a));
+        let rewritten = Aig_lib.Aig_rewrite.rewrite aig in
+        check bool "same function" true (equal_aig aig rewritten);
+        check bool "not larger" true (A.size rewritten <= A.size aig));
+    test_case "contradiction" `Quick (fun () ->
+        let aig = A.create () in
+        let a = A.add_pi aig and b = A.add_pi aig in
+        let ab = A.and_ aig a b in
+        ignore (A.add_po aig (A.and_ aig ab (A.not_ a)));
+        let rewritten = Aig_lib.Aig_rewrite.rewrite aig in
+        check bool "same function" true (equal_aig aig rewritten);
+        check int "constant detected" 0 (A.size rewritten));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"balance preserves function" ~count:80
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let aig = random_aig seed ~pis:6 ~gates:40 ~pos:4 in
+        equal_aig aig (Aig_lib.Aig_balance.balance aig));
+    QCheck.Test.make ~name:"balance does not increase depth" ~count:80
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let aig = random_aig seed ~pis:6 ~gates:40 ~pos:4 in
+        let _, d0 = A.levels aig in
+        let _, d1 = A.levels (Aig_lib.Aig_balance.balance aig) in
+        d1 <= d0);
+    QCheck.Test.make ~name:"rewrite preserves function" ~count:80
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let aig = random_aig seed ~pis:6 ~gates:40 ~pos:4 in
+        equal_aig aig (Aig_lib.Aig_rewrite.rewrite aig));
+    QCheck.Test.make ~name:"rewrite does not grow" ~count:80
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let aig = random_aig seed ~pis:6 ~gates:40 ~pos:4 in
+        A.size (Aig_lib.Aig_rewrite.rewrite aig) <= A.size aig);
+    QCheck.Test.make ~name:"network conversion preserves function" ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let net =
+          Io.Gen.random_network
+            ~name:(Printf.sprintf "aig-conv-%d" seed)
+            ~inputs:7 ~gates:30 ~outputs:3 ()
+        in
+        let aig = Aig_lib.Aig_of_network.convert net in
+        Array.for_all2 Truth_table.equal (A.truth_tables aig) (Network.truth_tables net));
+  ]
+
+let () =
+  Alcotest.run "aig"
+    [
+      ("basic", basic_tests);
+      ("balance", balance_tests);
+      ("rewrite", rewrite_tests);
+      ("props", List.map QCheck_alcotest.to_alcotest props);
+    ]

@@ -1,0 +1,214 @@
+open Logic
+module B = Bdd_lib.Bdd
+
+let tt_of man root = B.truth_table man root
+
+let basic_tests =
+  let open Alcotest in
+  [
+    test_case "terminals" `Quick (fun () ->
+        check bool "false terminal" true (B.is_terminal B.bfalse);
+        check bool "true terminal" true (B.is_terminal B.btrue);
+        check bool "distinct" true (B.bfalse <> B.btrue));
+    test_case "var cofactors" `Quick (fun () ->
+        let man = B.create 3 in
+        let x = B.var man 1 in
+        check int "low" B.bfalse (B.low man x);
+        check int "high" B.btrue (B.high man x);
+        check int "level" 1 (B.level man x));
+    test_case "canonicity: same function, same node" `Quick (fun () ->
+        let man = B.create 3 in
+        let a = B.var man 0 and b = B.var man 1 in
+        let f1 = B.bor man (B.band man a b) (B.band man a (B.bnot man b)) in
+        check int "f1 = a" a f1;
+        let f2 = B.bnot man (B.bnot man (B.band man a b)) in
+        check int "double negation" (B.band man a b) f2);
+    test_case "ite truth" `Quick (fun () ->
+        let man = B.create 3 in
+        let s = B.var man 0 and a = B.var man 1 and b = B.var man 2 in
+        let f = B.ite man s a b in
+        let expect =
+          Truth_table.mux (Truth_table.var 3 0) (Truth_table.var 3 1) (Truth_table.var 3 2)
+        in
+        check bool "mux" true (Truth_table.equal (tt_of man f) expect));
+    test_case "maj3" `Quick (fun () ->
+        let man = B.create 3 in
+        let f = B.maj3 man (B.var man 0) (B.var man 1) (B.var man 2) in
+        let expect =
+          Truth_table.maj3 (Truth_table.var 3 0) (Truth_table.var 3 1) (Truth_table.var 3 2)
+        in
+        check bool "maj" true (Truth_table.equal (tt_of man f) expect));
+    test_case "count_nodes shares" `Quick (fun () ->
+        let man = B.create 2 in
+        let a = B.var man 0 and b = B.var man 1 in
+        let f = B.band man a b and g = B.bor man a b in
+        let both = B.count_nodes man [ f; g ] in
+        let fo = B.count_nodes man [ f ] and go = B.count_nodes man [ g ] in
+        check bool "sharing" true (both <= fo + go));
+    test_case "of/to truth table" `Quick (fun () ->
+        let tt =
+          Truth_table.bxor (Truth_table.var 4 0)
+            (Truth_table.band (Truth_table.var 4 1) (Truth_table.var 4 3))
+        in
+        let man = B.create 4 in
+        let f = B.of_truth_table man tt in
+        check bool "round" true (Truth_table.equal tt (tt_of man f)));
+    test_case "limit exceeded" `Quick (fun () ->
+        let man = B.create ~max_nodes:4 8 in
+        match
+          for i = 0 to 7 do
+            ignore (B.var man i)
+          done
+        with
+        | () -> Alcotest.fail "expected Limit_exceeded"
+        | exception B.Limit_exceeded -> ());
+    test_case "parity BDD is linear" `Quick (fun () ->
+        let net = Funcgen.parity 10 in
+        let r = Bdd_lib.Bdd_of_network.build net in
+        check int "nodes" 19 (Bdd_lib.Bdd_of_network.node_count r));
+    test_case "mux order sensitivity" `Quick (fun () ->
+        (* select-lines-first is exponentially better for a mux than
+           data-first; check the orders actually differ in size *)
+        let net = Funcgen.mux_tree 3 in
+        let natural = Bdd_lib.Bdd_of_network.build net in
+        let sel_last_perm =
+          (* data inputs (3..10), enable (11), then selects (0..2) *)
+          Array.of_list ([ 3; 4; 5; 6; 7; 8; 9; 10; 11 ] @ [ 0; 1; 2 ])
+        in
+        let sel_last = Bdd_lib.Bdd_of_network.build ~perm:sel_last_perm net in
+        check bool "order matters" true
+          (Bdd_lib.Bdd_of_network.node_count natural
+          < Bdd_lib.Bdd_of_network.node_count sel_last));
+  ]
+
+let order_tests =
+  let open Alcotest in
+  [
+    test_case "dfs covers all inputs" `Quick (fun () ->
+        let net = Funcgen.alu4 () in
+        let perm = Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs net in
+        let sorted = Array.copy perm in
+        Array.sort compare sorted;
+        check (array int) "permutation" (Array.init 14 (fun i -> i)) sorted);
+    test_case "force covers all inputs" `Quick (fun () ->
+        let net = Funcgen.rd 7 3 in
+        let perm = Bdd_lib.Bdd_order.order (Bdd_lib.Bdd_order.Force 10) net in
+        let sorted = Array.copy perm in
+        Array.sort compare sorted;
+        check (array int) "permutation" (Array.init 7 (fun i -> i)) sorted);
+    test_case "best_of no worse than each candidate" `Quick (fun () ->
+        let net = Funcgen.mux_tree 3 in
+        let candidates = [ Bdd_lib.Bdd_order.Natural; Bdd_lib.Bdd_order.Dfs ] in
+        let best = Bdd_lib.Bdd_order.order (Bdd_lib.Bdd_order.Best_of candidates) net in
+        let size perm =
+          Bdd_lib.Bdd_of_network.node_count (Bdd_lib.Bdd_of_network.build ~perm net)
+        in
+        List.iter
+          (fun h ->
+            check bool "not worse" true
+              (size best <= size (Bdd_lib.Bdd_order.order h net)))
+          candidates);
+    test_case "apply reindexes" `Quick (fun () ->
+        let perm = [| 2; 0; 1 |] in
+        let a = [| true; false; true |] in
+        check (array bool) "apply" [| true; true; false |] (Bdd_lib.Bdd_order.apply perm a));
+  ]
+
+let build_props =
+  let nets =
+    [|
+      ("fa", Funcgen.full_adder ());
+      ("rd53", Funcgen.rd 5 3);
+      ("cmp4", Funcgen.comparator 4);
+      ("clip", Funcgen.clip ());
+      ("par7", Funcgen.parity 7);
+      ("alu4", Funcgen.alu4 ());
+    |]
+  in
+  [
+    QCheck.Test.make ~name:"BDD matches network semantics" ~count:60
+      (QCheck.make QCheck.Gen.(pair (int_bound (Array.length nets - 1)) int))
+      (fun (i, seed) ->
+        let _, net = nets.(i) in
+        let r = Bdd_lib.Bdd_of_network.build net in
+        let rng = Prng.create seed in
+        let n = Network.num_inputs net in
+        List.for_all
+          (fun _ ->
+            let a = Array.init n (fun _ -> Prng.bool rng) in
+            let expect = Network.eval net a in
+            let got =
+              List.map
+                (fun root ->
+                  Bdd_lib.Bdd.eval r.Bdd_lib.Bdd_of_network.manager root
+                    (Bdd_lib.Bdd_order.apply r.Bdd_lib.Bdd_of_network.perm a))
+                r.Bdd_lib.Bdd_of_network.roots
+            in
+            got = Array.to_list expect)
+          (List.init 20 (fun x -> x)));
+    QCheck.Test.make ~name:"BDD canonical across permutation of build ops" ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 1000))
+      (fun seed ->
+        (* two structurally different networks with the same function build
+           the same BDD roots *)
+        let rng = Prng.create seed in
+        ignore rng;
+        let a = Funcgen.ripple_adder 4 in
+        let b = Funcgen.carry_lookahead_adder 4 in
+        let ra = Bdd_lib.Bdd_of_network.build a in
+        let man = ra.Bdd_lib.Bdd_of_network.manager in
+        (* rebuild b inside the same manager by evaluating through tt *)
+        let tts = Network.truth_tables b in
+        let roots_b = Array.map (fun tt -> Bdd_lib.Bdd.of_truth_table man tt) tts in
+        List.for_all2
+          (fun ra rb -> ra = rb)
+          ra.Bdd_lib.Bdd_of_network.roots
+          (Array.to_list roots_b));
+  ]
+
+let sift_tests =
+  let open Alcotest in
+  [
+    test_case "sift not worse than dfs" `Quick (fun () ->
+        let net = Funcgen.mux_tree 3 in
+        let size perm =
+          Bdd_lib.Bdd_of_network.node_count (Bdd_lib.Bdd_of_network.build ~perm net)
+        in
+        let dfs = size (Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs net) in
+        let sift = size (Bdd_lib.Bdd_order.order (Bdd_lib.Bdd_order.Sift 4) net) in
+        check bool "sift <= dfs" true (sift <= dfs));
+    test_case "sift improves a bad natural order" `Quick (fun () ->
+        (* ripple adder with a-then-b declaration order: interleaving wins *)
+        let net = Funcgen.ripple_adder 6 in
+        let size perm =
+          Bdd_lib.Bdd_of_network.node_count (Bdd_lib.Bdd_of_network.build ~perm net)
+        in
+        let natural = size (Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Natural net) in
+        let sift = size (Bdd_lib.Bdd_order.order (Bdd_lib.Bdd_order.Sift 6) net) in
+        check bool "sift < natural" true (sift < natural));
+    test_case "sift falls back above 24 inputs" `Quick (fun () ->
+        let net = Funcgen.parity 25 in
+        let sift = Bdd_lib.Bdd_order.order (Bdd_lib.Bdd_order.Sift 4) net in
+        let dfs = Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs net in
+        check (array int) "same as dfs" dfs sift);
+  ]
+
+let stats_tests =
+  let open Alcotest in
+  [
+    test_case "stats of parity" `Quick (fun () ->
+        let r = Bdd_lib.Bdd_of_network.build (Funcgen.parity 8) in
+        let s = Bdd_lib.Bdd_stats.of_result r in
+        check int "nodes" 15 s.Bdd_lib.Bdd_stats.nodes;
+        check int "widest" 2 s.Bdd_lib.Bdd_stats.widest_level);
+  ]
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ("basic", basic_tests);
+      ("order", order_tests);
+      ("props", List.map QCheck_alcotest.to_alcotest build_props);
+      ("stats", stats_tests);
+      ("sift", sift_tests);
+    ]

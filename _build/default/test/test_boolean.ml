@@ -1,0 +1,315 @@
+(* Espresso-style two-level minimization, NPN canonization, cut enumeration
+   and cut-based Boolean rewriting. *)
+
+open Logic
+
+let random_tt rng n =
+  Truth_table.of_function n (fun a ->
+      let h = ref (Prng.int rng 1000) in
+      Array.iter (fun b -> h := (!h * 31) + if b then 7 else 3) a;
+      !h land 3 = 0)
+
+let arb_seed = QCheck.make QCheck.Gen.(int_bound 1000000)
+
+let espresso_tests =
+  let open Alcotest in
+  [
+    test_case "tautology of universal cube" `Quick (fun () ->
+        check bool "taut" true (Espresso.tautology (Sop.const 3 true));
+        check bool "not taut" false (Espresso.tautology (Sop.const 3 false)));
+    test_case "x + ~x is a tautology" `Quick (fun () ->
+        let sop =
+          Sop.of_cubes 2 [ Cube.of_string "1-"; Cube.of_string "0-" ]
+        in
+        check bool "taut" true (Espresso.tautology sop));
+    test_case "complement of AND" `Quick (fun () ->
+        let sop = Sop.of_cubes 2 [ Cube.of_string "11" ] in
+        let comp = Espresso.complement sop in
+        check bool "semantics" true
+          (Truth_table.equal
+             (Sop.to_truth_table comp)
+             (Truth_table.bnot (Sop.to_truth_table sop))));
+    test_case "covers" `Quick (fun () ->
+        let sop = Sop.of_cubes 3 [ Cube.of_string "1--"; Cube.of_string "-1-" ] in
+        check bool "covered" true (Espresso.covers sop (Cube.of_string "11-"));
+        check bool "covered single" true (Espresso.covers sop (Cube.of_string "1-0"));
+        check bool "not covered" false (Espresso.covers sop (Cube.of_string "--1")));
+    test_case "expand grows cubes" `Quick (fun () ->
+        (* f = x&y + x&~y = x: both cubes should expand to x *)
+        let sop = Sop.of_cubes 2 [ Cube.of_string "11"; Cube.of_string "10" ] in
+        let e = Espresso.expand sop in
+        check int "one cube" 1 (Sop.num_cubes e);
+        check bool "same function" true (Sop.equal_semantics sop e));
+    test_case "irredundant drops covered cube" `Quick (fun () ->
+        let sop =
+          Sop.of_cubes 3
+            [ Cube.of_string "1--"; Cube.of_string "-1-"; Cube.of_string "11-" ]
+        in
+        let r = Espresso.irredundant sop in
+        check int "two cubes" 2 (Sop.num_cubes r);
+        check bool "same function" true (Sop.equal_semantics sop r));
+    test_case "classic minimization example" `Quick (fun () ->
+        (* minterm list of f = a'b' + ab (xnor on 2 vars): irreducible *)
+        let tt = Truth_table.bnot (Truth_table.bxor (Truth_table.var 2 0) (Truth_table.var 2 1)) in
+        let minimized = Espresso.minimize (Sop.of_truth_table tt) in
+        check int "two cubes" 2 (Sop.num_cubes minimized));
+  ]
+
+let espresso_props =
+  [
+    QCheck.Test.make ~name:"complement is involutive on semantics" ~count:100 arb_seed
+      (fun seed ->
+        let tt = random_tt (Prng.create seed) 5 in
+        let sop = Sop.of_truth_table tt in
+        Truth_table.equal (Truth_table.bnot tt)
+          (Sop.to_truth_table (Espresso.complement sop)));
+    QCheck.Test.make ~name:"tautology agrees with the truth table" ~count:100 arb_seed
+      (fun seed ->
+        let tt = random_tt (Prng.create seed) 4 in
+        let sop = Sop.of_truth_table tt in
+        Espresso.tautology sop = Truth_table.equal tt (Truth_table.const 4 true));
+    QCheck.Test.make ~name:"minimize preserves the function" ~count:100 arb_seed
+      (fun seed ->
+        let tt = random_tt (Prng.create seed) 5 in
+        let sop = Sop.of_truth_table tt in
+        Truth_table.equal tt (Sop.to_truth_table (Espresso.minimize sop)));
+    QCheck.Test.make ~name:"minimize never has more cubes" ~count:100 arb_seed
+      (fun seed ->
+        let tt = random_tt (Prng.create seed) 5 in
+        let sop = Sop.of_truth_table tt in
+        Sop.num_cubes (Espresso.minimize sop) <= max 1 (Sop.num_cubes sop));
+  ]
+
+let npn_tests =
+  let open Alcotest in
+  [
+    test_case "and/or are NPN equivalent" `Quick (fun () ->
+        let a = Truth_table.var 2 0 and b = Truth_table.var 2 1 in
+        let c1, _ = Npn.canonize (Truth_table.band a b) in
+        let c2, _ = Npn.canonize (Truth_table.bor a b) in
+        check string "same class" (Truth_table.to_bits c1) (Truth_table.to_bits c2));
+    test_case "xor and xnor are NPN equivalent" `Quick (fun () ->
+        let a = Truth_table.var 2 0 and b = Truth_table.var 2 1 in
+        let c1, _ = Npn.canonize (Truth_table.bxor a b) in
+        let c2, _ = Npn.canonize (Truth_table.bnot (Truth_table.bxor a b)) in
+        check string "same class" (Truth_table.to_bits c1) (Truth_table.to_bits c2));
+    test_case "and is not NPN equivalent to xor" `Quick (fun () ->
+        let a = Truth_table.var 2 0 and b = Truth_table.var 2 1 in
+        let c1, _ = Npn.canonize (Truth_table.band a b) in
+        let c2, _ = Npn.canonize (Truth_table.bxor a b) in
+        check bool "different" true (Truth_table.to_bits c1 <> Truth_table.to_bits c2));
+  ]
+
+let npn_props =
+  [
+    QCheck.Test.make ~name:"canonize transform maps f to canonical" ~count:200 arb_seed
+      (fun seed ->
+        let tt = random_tt (Prng.create seed) 4 in
+        let canonical, t = Npn.canonize tt in
+        Truth_table.equal canonical (Npn.apply t tt));
+    QCheck.Test.make ~name:"NPN-equivalent functions share the canonical form" ~count:100
+      arb_seed (fun seed ->
+        let rng = Prng.create seed in
+        let tt = random_tt rng 4 in
+        (* random transform of tt *)
+        let perm = [| 0; 1; 2; 3 |] in
+        Prng.shuffle rng perm;
+        let t =
+          {
+            Npn.perm;
+            input_neg = Array.init 4 (fun _ -> Prng.bool rng);
+            output_neg = Prng.bool rng;
+          }
+        in
+        let variant = Npn.apply t tt in
+        let c1, _ = Npn.canonize tt in
+        let c2, _ = Npn.canonize variant in
+        Truth_table.equal c1 c2);
+    QCheck.Test.make ~name:"signals_for rewires correctly" ~count:100 arb_seed (fun seed ->
+        (* build canonical as an MIG, rewire via signals_for, compare to f *)
+        let tt = random_tt (Prng.create seed) 4 in
+        let canonical, t = Npn.canonize tt in
+        let mig = Core.Mig.create () in
+        let pis = Array.init 4 (fun _ -> Core.Mig.add_pi mig) in
+        let sop = Sop.of_truth_table canonical in
+        (* canonical implementation over fresh "ports" *)
+        let implement operands =
+          List.fold_left
+            (fun acc cube ->
+              let term =
+                List.fold_left
+                  (fun acc (v, positive) ->
+                    let s = if positive then operands.(v) else Core.Mig.not_ operands.(v) in
+                    Core.Mig.and_ mig acc s)
+                  Core.Mig.const1 (Cube.literals cube)
+              in
+              Core.Mig.or_ mig acc term)
+            Core.Mig.const0 (Sop.cubes sop)
+        in
+        let operands, out_neg = Npn.signals_for t pis Core.Mig.not_ in
+        let s = implement operands in
+        let s = if out_neg then Core.Mig.not_ s else s in
+        ignore (Core.Mig.add_po mig s);
+        Truth_table.equal tt (Core.Mig_sim.truth_tables mig).(0));
+  ]
+
+let cuts_tests =
+  let open Alcotest in
+  [
+    test_case "cuts of a two-level structure" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig in
+        let c = Core.Mig.add_pi mig and d = Core.Mig.add_pi mig in
+        let g1 = Core.Mig.and_ mig a b in
+        let g2 = Core.Mig.and_ mig c d in
+        let root = Core.Mig.or_ mig g1 g2 in
+        ignore (Core.Mig.add_po mig root);
+        let cuts = Core.Mig_cuts.enumerate ~k:4 mig in
+        let root_cuts = Core.Mig_cuts.cuts_of cuts (Core.Mig.node_of root) in
+        (* the 4-leaf cut {a,b,c,d,const?}: and_ uses const0 as third input,
+           so leaves include node 0; just require a cut covering all PIs *)
+        check bool "has a wide cut" true
+          (List.exists (fun cut -> Array.length cut >= 3) root_cuts));
+    test_case "cut function matches simulation" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig and c = Core.Mig.add_pi mig in
+        let g = Core.Mig.maj mig a (Core.Mig.not_ b) c in
+        ignore (Core.Mig.add_po mig g);
+        let cut = Array.of_list (List.sort compare (List.map Core.Mig.node_of [ a; b; c ])) in
+        let tt = Core.Mig_cuts.cut_function mig (Core.Mig.node_of g) cut in
+        let expect =
+          Truth_table.maj3 (Truth_table.var 3 0)
+            (Truth_table.bnot (Truth_table.var 3 1))
+            (Truth_table.var 3 2)
+        in
+        check bool "tt" true (Truth_table.equal tt expect));
+    test_case "mffc of a private cone" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig and c = Core.Mig.add_pi mig in
+        let g1 = Core.Mig.and_ mig a b in
+        let root = Core.Mig.or_ mig g1 c in
+        ignore (Core.Mig.add_po mig root);
+        let cut = Array.of_list (List.sort compare (List.map Core.Mig.node_of [ a; b; c ])) in
+        check int "both gates private" 2
+          (Core.Mig_cuts.mffc_size mig (Core.Mig.node_of root) cut));
+    test_case "mffc excludes shared node" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig and c = Core.Mig.add_pi mig in
+        let g1 = Core.Mig.and_ mig a b in
+        let root = Core.Mig.or_ mig g1 c in
+        ignore (Core.Mig.add_po mig root);
+        ignore (Core.Mig.add_po mig g1);
+        (* g1 is shared with an output *)
+        let cut = Array.of_list (List.sort compare (List.map Core.Mig.node_of [ a; b; c ])) in
+        check int "only the root" 1
+          (Core.Mig_cuts.mffc_size mig (Core.Mig.node_of root) cut));
+  ]
+
+let rewrite_tests =
+  let open Alcotest in
+  [
+    test_case "collapses a redundant mux structure" `Quick (fun () ->
+        (* mux(s, a, a) built without simplification-aware construction *)
+        let mig = Core.Mig.create () in
+        let s = Core.Mig.add_pi mig and a = Core.Mig.add_pi mig in
+        let t1 = Core.Mig.maj mig s a Core.Mig.const0 in
+        let t2 = Core.Mig.maj mig (Core.Mig.not_ s) a Core.Mig.const0 in
+        ignore (Core.Mig.add_po mig (Core.Mig.maj mig t1 t2 Core.Mig.const1));
+        let rewritten = Core.Mig_cut_rewrite.rewrite mig in
+        check bool "shrank" true (Core.Mig.size rewritten < Core.Mig.size mig);
+        Alcotest.(check bool) "equivalent" true (Core.Mig_equiv.equivalent mig rewritten));
+    test_case "improves on SOP-heavy structures" `Quick (fun () ->
+        let net = Funcgen.rd 5 3 in
+        let mig = Core.Mig_of_network.convert net in
+        let rewritten = Core.Mig_cut_rewrite.rewrite mig in
+        check bool "not larger" true (Core.Mig.size rewritten <= Core.Mig.size mig);
+        check bool "equivalent" true (Core.Mig_equiv.equivalent_network rewritten net));
+  ]
+
+let rewrite_props =
+  let random_mig seed =
+    let rng = Prng.create seed in
+    let mig = Core.Mig.create () in
+    let signals = ref [| Core.Mig.const0 |] in
+    let add s = signals := Array.append !signals [| s |] in
+    for _ = 1 to 6 do
+      add (Core.Mig.add_pi mig)
+    done;
+    for _ = 1 to 40 do
+      let pick () =
+        let s = Prng.pick rng !signals in
+        if Prng.bool rng then Core.Mig.not_ s else s
+      in
+      add (Core.Mig.maj mig (pick ()) (pick ()) (pick ()))
+    done;
+    for _ = 1 to 4 do
+      ignore (Core.Mig.add_po mig (Prng.pick rng !signals))
+    done;
+    Core.Mig.cleanup mig
+  in
+  [
+    QCheck.Test.make ~name:"cut rewriting preserves the function" ~count:50 arb_seed
+      (fun seed ->
+        let mig = random_mig seed in
+        Core.Mig_equiv.equivalent mig (Core.Mig_cut_rewrite.rewrite mig));
+    QCheck.Test.make ~name:"cut rewriting never grows the graph" ~count:50 arb_seed
+      (fun seed ->
+        let mig = random_mig seed in
+        Core.Mig.size (Core.Mig_cut_rewrite.rewrite mig) <= Core.Mig.size mig);
+    QCheck.Test.make ~name:"cut rewriting leaves valid graphs" ~count:50 arb_seed
+      (fun seed ->
+        let mig = random_mig seed in
+        Core.Mig_check.check (Core.Mig_cut_rewrite.rewrite mig) = Ok ());
+    QCheck.Test.make ~name:"cut functions agree with cone simulation" ~count:50 arb_seed
+      (fun seed ->
+        let mig = random_mig seed in
+        let cuts = Core.Mig_cuts.enumerate mig in
+        List.for_all
+          (fun g ->
+            List.for_all
+              (fun cut ->
+                Array.length cut > Npn.max_vars
+                ||
+                let tt = Core.Mig_cuts.cut_function mig g cut in
+                (* validate on a few random leaf assignments against a fresh
+                   MIG built over the cut cone *)
+                let rng = Prng.create (seed + g) in
+                List.for_all
+                  (fun _ ->
+                    let leaf_vals = Array.map (fun _ -> Prng.bool rng) cut in
+                    let values = Hashtbl.create 7 in
+                    Array.iteri (fun i l -> Hashtbl.replace values l leaf_vals.(i)) cut;
+                    let rec eval n =
+                      match Hashtbl.find_opt values n with
+                      | Some v -> v
+                      | None ->
+                          let f = Core.Mig.fanins mig n in
+                          let v s =
+                            let x = eval (Core.Mig.node_of s) in
+                            if Core.Mig.is_compl s then not x else x
+                          in
+                          let a = v f.(0) and b = v f.(1) and c = v f.(2) in
+                          let r = (a && b) || (a && c) || (b && c) in
+                          Hashtbl.replace values n r;
+                          r
+                    in
+                    let direct = eval g in
+                    let m = ref 0 in
+                    Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) leaf_vals;
+                    direct = Truth_table.get tt !m)
+                  (List.init 8 (fun x -> x)))
+              (Core.Mig_cuts.cuts_of cuts g))
+          (Core.Mig.topo_order mig));
+  ]
+
+let () =
+  Alcotest.run "boolean"
+    [
+      ("espresso", espresso_tests);
+      ("espresso-props", List.map QCheck_alcotest.to_alcotest espresso_props);
+      ("npn", npn_tests);
+      ("npn-props", List.map QCheck_alcotest.to_alcotest npn_props);
+      ("cuts", cuts_tests);
+      ("cut-rewrite", rewrite_tests);
+      ("cut-rewrite-props", List.map QCheck_alcotest.to_alcotest rewrite_props);
+    ]

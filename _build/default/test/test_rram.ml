@@ -1,0 +1,358 @@
+open Logic
+
+(* ------------------------------------------------------------------ *)
+(* Device physics: Fig. 1 and Fig. 2 truth tables                      *)
+(* ------------------------------------------------------------------ *)
+
+let device_tests =
+  let open Alcotest in
+  [
+    test_case "IMP truth table (Fig. 1b)" `Quick (fun () ->
+        (* q' = p IMP q = ¬p ∨ q *)
+        List.iter
+          (fun (p, q, expect) ->
+            let dp = Rram.Device.create () and dq = Rram.Device.create () in
+            Rram.Device.write dp p;
+            Rram.Device.write dq q;
+            Rram.Device.imp_pulse ~p:dp ~q:dq;
+            check bool (Printf.sprintf "p=%b q=%b" p q) expect (Rram.Device.read dq);
+            check bool "p unchanged" p (Rram.Device.read dp))
+          [ (false, false, true); (false, true, true); (true, false, false); (true, true, true) ]);
+    test_case "MAJ pulse truth table (Fig. 2)" `Quick (fun () ->
+        (* R' = M(P, ¬Q, R): for R=0, R' = P·¬Q; for R=1, R' = P ∨ ¬Q *)
+        List.iter
+          (fun (p, q, r, expect) ->
+            let d = Rram.Device.create () in
+            Rram.Device.write d r;
+            Rram.Device.maj_pulse d ~p ~q;
+            check bool (Printf.sprintf "P=%b Q=%b R=%b" p q r) expect (Rram.Device.read d))
+          [
+            (false, false, false, false);
+            (false, true, false, false);
+            (true, false, false, true);
+            (true, true, false, false);
+            (false, false, true, true);
+            (false, true, true, false);
+            (true, false, true, true);
+            (true, true, true, true);
+          ]);
+    test_case "FALSE clears" `Quick (fun () ->
+        let d = Rram.Device.create () in
+        Rram.Device.set d;
+        Rram.Device.clear d;
+        check bool "cleared" false (Rram.Device.read d));
+    test_case "MAJ pulse is the majority of P, ~Q, R" `Quick (fun () ->
+        for m = 0 to 7 do
+          let p = m land 1 <> 0 and q = m land 2 <> 0 and r = m land 4 <> 0 in
+          let d = Rram.Device.create () in
+          Rram.Device.write d r;
+          Rram.Device.maj_pulse d ~p ~q;
+          let count = (if p then 1 else 0) + (if not q then 1 else 0) + if r then 1 else 0 in
+          Alcotest.(check bool) "majority" (count >= 2) (Rram.Device.read d)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The paper's hand-derived gate sequences                              *)
+(* ------------------------------------------------------------------ *)
+
+let single_maj_mig () =
+  let mig = Core.Mig.create () in
+  let a = Core.Mig.add_pi mig in
+  let b = Core.Mig.add_pi mig in
+  let c = Core.Mig.add_pi mig in
+  ignore (Core.Mig.add_po mig (Core.Mig.maj mig a b c));
+  mig
+
+let sequence_tests =
+  let open Alcotest in
+  [
+    test_case "IMP majority gate: 6 RRAMs, 10 steps, correct" `Quick (fun () ->
+        let mig = single_maj_mig () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Imp mig in
+        check int "steps" 10 r.Rram.Compile_mig.measured_steps;
+        check int "rrams" 6 r.Rram.Compile_mig.measured_rrams;
+        (match Rram.Program.validate r.Rram.Compile_mig.program with
+        | Ok () -> ()
+        | Error e -> fail e);
+        match Rram.Verify.against_mig r.Rram.Compile_mig.program mig with
+        | Ok () -> ()
+        | Error e -> fail e);
+    test_case "MAJ majority gate: 4 RRAMs, 3 steps, correct" `Quick (fun () ->
+        let mig = single_maj_mig () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        check int "steps" 3 r.Rram.Compile_mig.measured_steps;
+        check int "rrams" 4 r.Rram.Compile_mig.measured_rrams;
+        match Rram.Verify.against_mig r.Rram.Compile_mig.program mig with
+        | Ok () -> ()
+        | Error e -> fail e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* MIG compiler: formula cross-check + functional verification         *)
+(* ------------------------------------------------------------------ *)
+
+let check_mig_compile ?(realizations = [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]) mig =
+  List.iter
+    (fun realization ->
+      let r = Rram.Compile_mig.compile realization mig in
+      (match Rram.Program.validate r.Rram.Compile_mig.program with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("invalid program: " ^ e));
+      Alcotest.(check int)
+        "measured steps = Table I formula" r.Rram.Compile_mig.analytic.Core.Rram_cost.steps
+        r.Rram.Compile_mig.measured_steps;
+      Alcotest.(check bool)
+        "measured rrams >= analytic" true
+        (r.Rram.Compile_mig.measured_rrams >= r.Rram.Compile_mig.analytic.Core.Rram_cost.rrams);
+      match Rram.Verify.against_mig r.Rram.Compile_mig.program mig with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    realizations
+
+let mig_compile_tests =
+  let open Alcotest in
+  let of_net net = Core.Mig_of_network.convert net in
+  [
+    test_case "full adder" `Quick (fun () -> check_mig_compile (of_net (Funcgen.full_adder ())));
+    test_case "ripple adder 4" `Quick (fun () ->
+        check_mig_compile (of_net (Funcgen.ripple_adder 4)));
+    test_case "cla adder 3" `Quick (fun () ->
+        check_mig_compile (of_net (Funcgen.carry_lookahead_adder 3)));
+    test_case "multiplier 3" `Quick (fun () -> check_mig_compile (of_net (Funcgen.multiplier 3)));
+    test_case "rd53" `Quick (fun () -> check_mig_compile (of_net (Funcgen.rd 5 3)));
+    test_case "9sym" `Quick (fun () -> check_mig_compile (of_net (Funcgen.sym_range 9 3 6)));
+    test_case "parity 8" `Quick (fun () -> check_mig_compile (of_net (Funcgen.parity 8)));
+    test_case "comparator 4" `Quick (fun () -> check_mig_compile (of_net (Funcgen.comparator 4)));
+    test_case "clip" `Quick (fun () -> check_mig_compile (of_net (Funcgen.clip ())));
+    test_case "t481" `Quick (fun () -> check_mig_compile (of_net (Funcgen.t481 ())));
+    test_case "complemented PO" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig and c = Core.Mig.add_pi mig in
+        ignore (Core.Mig.add_po mig (Core.Mig.not_ (Core.Mig.maj mig a b c)));
+        check_mig_compile mig);
+    test_case "PO is a PI / constant" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig in
+        ignore (Core.Mig.add_po mig a);
+        ignore (Core.Mig.add_po mig Core.Mig.const1);
+        List.iter
+          (fun realization ->
+            let r = Rram.Compile_mig.compile realization mig in
+            match Rram.Verify.against_mig r.Rram.Compile_mig.program mig with
+            | Ok () -> ()
+            | Error e -> fail e)
+          [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]);
+    test_case "optimized MIGs still compile correctly" `Quick (fun () ->
+        let mig = of_net (Funcgen.rd 5 3) in
+        List.iter
+          (fun alg ->
+            let optimized = Core.Mig_opt.run ~effort:8 alg mig in
+            check_mig_compile optimized)
+          [
+            Core.Mig_opt.Area;
+            Core.Mig_opt.Depth;
+            Core.Mig_opt.Rram_costs Core.Rram_cost.Maj;
+            Core.Mig_opt.Steps;
+          ]);
+  ]
+
+let mig_compile_props =
+  let random_mig seed =
+    let rng = Prng.create seed in
+    let mig = Core.Mig.create () in
+    let signals = ref [| Core.Mig.const0 |] in
+    let add s = signals := Array.append !signals [| s |] in
+    for _ = 1 to 5 do
+      add (Core.Mig.add_pi mig)
+    done;
+    for _ = 1 to 25 do
+      let pick () =
+        let s = Prng.pick rng !signals in
+        if Prng.bool rng then Core.Mig.not_ s else s
+      in
+      add (Core.Mig.maj mig (pick ()) (pick ()) (pick ()))
+    done;
+    for _ = 1 to 3 do
+      ignore (Core.Mig.add_po mig (Prng.pick rng !signals))
+    done;
+    Core.Mig.cleanup mig
+  in
+  [
+    QCheck.Test.make ~name:"random MIGs: program = MIG function (IMP)" ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = random_mig seed in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Imp mig in
+        Rram.Verify.against_mig r.Rram.Compile_mig.program mig = Ok ());
+    QCheck.Test.make ~name:"random MIGs: program = MIG function (MAJ)" ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = random_mig seed in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        Rram.Verify.against_mig r.Rram.Compile_mig.program mig = Ok ());
+    QCheck.Test.make ~name:"random MIGs: steps match Table I (both)" ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = random_mig seed in
+        let depth = (Core.Mig_levels.compute mig).Core.Mig_levels.depth in
+        List.for_all
+          (fun realization ->
+            let r = Rram.Compile_mig.compile realization mig in
+            let analytic = r.Rram.Compile_mig.analytic.Core.Rram_cost.steps in
+            (* A depth-0 graph with complemented input outputs has no gate
+               level whose load step can absorb the staging copies, costing
+               one extra step over the formula (documented corner). *)
+            if depth = 0 then
+              r.Rram.Compile_mig.measured_steps <= analytic + 1
+            else r.Rram.Compile_mig.measured_steps = analytic)
+          [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline compilers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_bdd mode net =
+  let built = Bdd_lib.Bdd_of_network.build net in
+  let r = Rram.Compile_bdd.compile ~mode built in
+  (match Rram.Program.validate r.Rram.Compile_bdd.program with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invalid BDD program: " ^ e));
+  match Rram.Verify.against_network r.Rram.Compile_bdd.program net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let check_aig mode net =
+  let aig = Aig_lib.Aig_of_network.convert net in
+  let r = Rram.Compile_aig.compile ~mode aig in
+  (match Rram.Program.validate r.Rram.Compile_aig.program with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invalid AIG program: " ^ e));
+  match Rram.Verify.against_network r.Rram.Compile_aig.program net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let baseline_tests =
+  let open Alcotest in
+  let nets =
+    [
+      ("full adder", Funcgen.full_adder ());
+      ("ripple 4", Funcgen.ripple_adder 4);
+      ("rd53", Funcgen.rd 5 3);
+      ("comparator 3", Funcgen.comparator 3);
+      ("parity 6", Funcgen.parity 6);
+      ("mux tree 2", Funcgen.mux_tree 2);
+      ("clip", Funcgen.clip ());
+    ]
+  in
+  List.concat_map
+    (fun (name, net) ->
+      [
+        test_case (name ^ " / BDD sequential") `Quick (fun () -> check_bdd `Sequential net);
+        test_case (name ^ " / BDD levelized") `Quick (fun () -> check_bdd `Levelized net);
+        test_case (name ^ " / AIG sequential") `Quick (fun () -> check_aig `Sequential net);
+        test_case (name ^ " / AIG levelized") `Quick (fun () -> check_aig `Levelized net);
+      ])
+    nets
+  @ [
+      test_case "BDD sequential steps scale with nodes" `Quick (fun () ->
+          let net = Funcgen.rd 7 3 in
+          let built = Bdd_lib.Bdd_of_network.build net in
+          let nodes = Bdd_lib.Bdd_of_network.node_count built in
+          let r = Rram.Compile_bdd.compile ~mode:`Sequential built in
+          check bool "at least 5 steps per node" true
+            (r.Rram.Compile_bdd.measured_steps >= 5 * nodes));
+      test_case "MAJ-MIG beats sequential BDD on steps" `Quick (fun () ->
+          (* the headline comparison, in miniature *)
+          let net = Funcgen.rd 7 3 in
+          let mig = Core.Mig_opt.steps ~effort:8 (Core.Mig_of_network.convert net) in
+          let mig_r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+          let bdd_r =
+            Rram.Compile_bdd.compile ~mode:`Sequential (Bdd_lib.Bdd_of_network.build net)
+          in
+          check bool "MIG-MAJ faster" true
+            (mig_r.Rram.Compile_mig.measured_steps < bdd_r.Rram.Compile_bdd.measured_steps));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Energy accounting and crossbar placement                            *)
+(* ------------------------------------------------------------------ *)
+
+let energy_tests =
+  let open Alcotest in
+  [
+    test_case "single-gate pulse counts" `Quick (fun () ->
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Imp (single_maj_mig ()) in
+        let c = Rram.Energy.static_counts r.Rram.Compile_mig.program in
+        (* the 10-step sequence: 3 loads + 3 presets + 1 mid-FALSE + 8 imps *)
+        check int "loads" 3 c.Rram.Energy.loads;
+        check int "resets" 4 c.Rram.Energy.resets;
+        check int "imps" 8 c.Rram.Energy.imps;
+        check int "maj" 0 c.Rram.Energy.maj_pulses);
+    test_case "maj realization uses fewer pulses" `Quick (fun () ->
+        let mig = Core.Mig_of_network.convert (Logic.Funcgen.rd 5 3) in
+        let imp = Rram.Compile_mig.compile Core.Rram_cost.Imp mig in
+        let maj = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        check bool "fewer" true
+          (Rram.Energy.total_pulses (Rram.Energy.static_counts maj.Rram.Compile_mig.program)
+          < Rram.Energy.total_pulses (Rram.Energy.static_counts imp.Rram.Compile_mig.program)));
+    test_case "switching activity bounded by pulses" `Quick (fun () ->
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj (single_maj_mig ()) in
+        let flips = Rram.Energy.switching_activity r.Rram.Compile_mig.program in
+        let pulses = Rram.Energy.total_pulses (Rram.Energy.static_counts r.Rram.Compile_mig.program) in
+        check bool "bounded" true (flips <= float_of_int pulses));
+    test_case "static energy positive and weight-sensitive" `Quick (fun () ->
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Imp (single_maj_mig ()) in
+        let e1 = Rram.Energy.static_energy r.Rram.Compile_mig.program in
+        let w = { Rram.Energy.default_weights with imp = 2.4 } in
+        let e2 = Rram.Energy.static_energy ~weights:w r.Rram.Compile_mig.program in
+        check bool "positive" true (e1 > 0.0);
+        check bool "sensitive" true (e2 > e1));
+  ]
+
+let placement_tests =
+  let open Alcotest in
+  let programs () =
+    List.concat_map
+      (fun net ->
+        let mig = Core.Mig_of_network.convert net in
+        [
+          (Rram.Compile_mig.compile Core.Rram_cost.Imp mig).Rram.Compile_mig.program;
+          (Rram.Compile_mig.compile Core.Rram_cost.Maj mig).Rram.Compile_mig.program;
+        ])
+      [ Logic.Funcgen.full_adder (); Logic.Funcgen.rd 5 3; Logic.Funcgen.comparator 4 ]
+  in
+  [
+    test_case "placements are valid" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            let placement = Rram.Placement.place p in
+            match Rram.Placement.validate p placement with
+            | Ok () -> ()
+            | Error e -> fail e)
+          (programs ()));
+    test_case "utilization in (0, 1]" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            let t = Rram.Placement.place p in
+            check bool "util" true (t.Rram.Placement.utilization > 0.0 && t.Rram.Placement.utilization <= 1.0))
+          (programs ()));
+    test_case "imp gate devices share a row" `Quick (fun () ->
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Imp (single_maj_mig ()) in
+        let t = Rram.Placement.place r.Rram.Compile_mig.program in
+        (* all 6 devices of the single gate interact through IMP: one row *)
+        check bool "at most 2 rows" true (t.Rram.Placement.rows <= 2));
+  ]
+
+let () =
+  Alcotest.run "rram"
+    [
+      ("device", device_tests);
+      ("paper-sequences", sequence_tests);
+      ("mig-compile", mig_compile_tests);
+      ("mig-compile-props", List.map QCheck_alcotest.to_alcotest mig_compile_props);
+      ("baselines", baseline_tests);
+      ("energy", energy_tests);
+      ("placement", placement_tests);
+    ]
