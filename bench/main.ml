@@ -136,6 +136,13 @@ let () =
         r.Exp.Ablation.plim_cells r.Exp.Ablation.maj_steps r.Exp.Ablation.imp_steps)
     [ "5xp1"; "alu4"; "b9"; "clip"; "cordic"; "t481" ];
   Format.printf
+    "@,Fault tolerance (functional yield vs stuck-at rate; baseline / remap / TMR):@,";
+  List.iter
+    (fun name ->
+      Format.printf "  %s:@,%a" name Exp.Ablation.pp_yield_curve
+        (Exp.Ablation.yield_curve ~trials:100 (pick name)))
+    [ "5xp1"; "b9" ];
+  Format.printf
     "@,Pulse energy (static pulse counts, arbitrary units) and crossbar geometry:@,";
   List.iter
     (fun name ->

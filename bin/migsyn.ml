@@ -5,17 +5,29 @@
      optimize  run one of the paper's four algorithms, write BLIF out
      map       compile to an RRAM program, report costs, verify, dump
      compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
-     bench     run the paper's experiment rows for named benchmarks *)
+     bench     run the paper's experiment rows for named benchmarks
+     faults    stuck-at repair demo + baseline/resilient/TMR yield experiment *)
 
 open Cmdliner
 
 let parse_netlist path =
-  match Filename.extension path with
-  | ".blif" -> Io.Blif.parse_file path
-  | ".bench" -> Io.Bench_format.parse_file path
-  | ".pla" -> Io.Pla.parse_file path
-  | ".aag" -> Io.Aiger.parse_file path
-  | ext -> failwith ("unsupported netlist extension: " ^ ext)
+  let wrap line msg = failwith (Printf.sprintf "%s:%d: %s" path line msg) in
+  try
+    match Filename.extension path with
+    | ".blif" -> Io.Blif.parse_file path
+    | ".bench" -> Io.Bench_format.parse_file path
+    | ".pla" -> Io.Pla.parse_file path
+    | ".aag" -> Io.Aiger.parse_file path
+    | "" -> failwith (path ^ ": missing extension (expected .blif, .bench, .pla or .aag)")
+    | ext ->
+        failwith
+          (Printf.sprintf "%s: unsupported netlist extension %s (expected .blif, .bench, .pla or .aag)"
+             path ext)
+  with
+  | Io.Blif.Parse_error (line, msg) -> wrap line msg
+  | Io.Bench_format.Parse_error (line, msg) -> wrap line msg
+  | Io.Pla.Parse_error (line, msg) -> wrap line msg
+  | Io.Aiger.Parse_error (line, msg) -> wrap line msg
 
 let input_arg =
   Arg.(
@@ -265,6 +277,112 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export the optimized MIG as DOT/Verilog/BLIF/bench/AIGER")
     Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ format_arg $ out_arg)
 
+(* ---------------- faults ---------------- *)
+
+let faults_cmd =
+  let rate_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Center per-cell stuck-at probability for the yield experiment.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials per fault rate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xFA17 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Verification rounds of the resilient executor's remap/retry loop.")
+  in
+  let run path alg effort realization rate trials seed attempts =
+    let net = parse_netlist path in
+    let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
+    let r = Rram.Compile_mig.compile realization mig in
+    let program = r.Rram.Compile_mig.program in
+    let reference = Core.Mig_sim.eval mig in
+    let tmr = Rram.Tmr.protect program in
+    Format.printf
+      "%a realization after %s optimization: %d RRAMs, %d steps@.TMR-protected: %d RRAMs, %d steps (%d voted outputs)@."
+      Core.Rram_cost.pp_realization realization (Core.Mig_opt.algorithm_name alg)
+      program.Rram.Program.num_regs (Rram.Program.num_steps program)
+      tmr.Rram.Tmr.program.Rram.Program.num_regs
+      (Rram.Program.num_steps tmr.Rram.Tmr.program)
+      tmr.Rram.Tmr.voters;
+    (* Single-defect repair demo: find a stuck-at fault that breaks the
+       program, then let the resilient executor repair it. *)
+    let vectors = Rram.Verify.vectors program.Rram.Program.num_inputs in
+    let breaking = ref None in
+    (try
+       for cell = 0 to program.Rram.Program.num_regs - 1 do
+         List.iter
+           (fun value ->
+             let f = { Rram.Faults.cell; value } in
+             if not (Rram.Faults.survives program ~reference [ f ] vectors) then begin
+               breaking := Some f;
+               raise Exit
+             end)
+           [ true; false ]
+       done
+     with Exit -> ());
+    Format.printf "@.Repair demo (resilient executor, max %d attempts):@." attempts;
+    (match !breaking with
+    | None ->
+        Format.printf
+          "  no single stuck-at defect changes the outputs — nothing to repair@."
+    | Some ({ Rram.Faults.cell; value } as f) ->
+        Format.printf "  injected defect: cell %d stuck-at-%d@." cell
+          (if value then 1 else 0);
+        let env = Rram.Resilient.env_of_defects (Rram.Faults.to_defects [ f ]) in
+        let report =
+          Rram.Resilient.run ~max_attempts:attempts ~vectors env program ~reference
+        in
+        Format.printf "  mismatch detected against the reference@.";
+        Format.printf "  diagnosed faulty cell(s): %s@."
+          (String.concat ", " (List.map string_of_int report.Rram.Resilient.diagnosed));
+        List.iter
+          (fun (from, to_) -> Format.printf "  remapped cell %d -> spare %d@." from to_)
+          report.Rram.Resilient.moves;
+        if report.Rram.Resilient.ok then
+          Format.printf "  re-verified OK after %d attempt(s)@."
+            report.Rram.Resilient.attempts
+        else begin
+          let trusted =
+            report.Rram.Resilient.trusted |> Array.to_list
+            |> List.mapi (fun i t -> (i, t))
+            |> List.filter_map (fun (i, t) -> if t then Some (string_of_int i) else None)
+          in
+          Format.printf "  repair FAILED after %d attempts; trusted outputs: %s@."
+            report.Rram.Resilient.attempts
+            (if trusted = [] then "none" else String.concat ", " trusted)
+        end);
+    let rates = [ rate /. 3.0; rate; rate *. 3.0 ] in
+    Format.printf
+      "@.Monte-Carlo functional yield (%d trials per rate, %d test vectors, seed %#x):@."
+      trials (List.length vectors) seed;
+    let rows =
+      List.map
+        (fun rate ->
+          Rram.Faults.yield_comparison ~seed ~trials ~max_attempts:attempts ~rate program
+            ~reference)
+        rates
+    in
+    Format.printf "@[<v>%a@]@." Exp.Ablation.pp_yield_curve rows
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-tolerance experiment: repair a stuck-at defect by remapping, and \
+          compare Monte-Carlo yield of baseline vs resilient vs TMR execution")
+    Term.(
+      const run $ input_arg $ algorithm_arg $ effort_arg $ realization_arg $ rate_arg
+      $ trials_arg $ seed_arg $ attempts_arg)
+
 (* ---------------- bench ---------------- *)
 
 let bench_cmd =
@@ -297,7 +415,26 @@ let () =
     Cmd.info "migsyn" ~version:"1.0.0"
       ~doc:"MIG-based logic synthesis for RRAM in-memory computing (DATE 2016)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ stats_cmd; optimize_cmd; map_cmd; compare_cmd; bench_cmd; plim_cmd; export_cmd ]))
+  let group =
+    Cmd.group info
+      [
+        stats_cmd;
+        optimize_cmd;
+        map_cmd;
+        compare_cmd;
+        bench_cmd;
+        plim_cmd;
+        export_cmd;
+        faults_cmd;
+      ]
+  in
+  (* Expected failures (bad netlists, verification mismatches) exit with a
+     one-line diagnostic instead of an OCaml backtrace. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Failure msg ->
+      prerr_endline ("migsyn: error: " ^ msg);
+      exit 1
+  | exception Sys_error msg ->
+      prerr_endline ("migsyn: error: " ^ msg);
+      exit 1

@@ -1,16 +1,79 @@
-type t = { mutable state : bool }
+type defect = Stuck_0 | Stuck_1
 
-let create () = { state = false }
-let read d = d.state
-let clear d = d.state <- false
-let set d = d.state <- true
-let write d v = d.state <- v
+type model = {
+  write_fail : float;
+  read_disturb : float;
+  endurance : int;
+  rng : Logic.Prng.t;
+}
+
+let model ?(write_fail = 0.0) ?(read_disturb = 0.0) ?(endurance = 0) ~seed () =
+  if write_fail < 0.0 || write_fail > 1.0 then invalid_arg "Device.model: write_fail";
+  if read_disturb < 0.0 || read_disturb > 1.0 then invalid_arg "Device.model: read_disturb";
+  { write_fail; read_disturb; endurance; rng = Logic.Prng.create seed }
+
+type t = {
+  mutable state : bool;
+  mutable defect : defect option;
+  mutable wear : int;
+  model : model option;
+}
+
+let create () = { state = false; defect = None; wear = 0; model = None }
+
+let set_defect d defect =
+  d.defect <- Some defect;
+  d.state <- (match defect with Stuck_0 -> false | Stuck_1 -> true)
+
+let create_with ?defect m =
+  let d = { state = false; defect = None; wear = 0; model = Some m } in
+  Option.iter (set_defect d) defect;
+  d
+
+let defect d = d.defect
+let wear d = d.wear
+let observe d = d.state
+
+(* Drive the cell toward [v].  A defective cell ignores every pulse; a healthy
+   switching event may fail probabilistically, costs one endurance cycle, and
+   freezes the cell in place once the endurance budget is spent. *)
+let switch d v =
+  match d.defect with
+  | Some _ -> ()
+  | None ->
+      if d.state <> v then begin
+        let fails =
+          match d.model with
+          | None -> false
+          | Some m -> m.write_fail > 0.0 && Logic.Prng.float m.rng < m.write_fail
+        in
+        if not fails then begin
+          d.state <- v;
+          d.wear <- d.wear + 1;
+          match d.model with
+          | Some m when m.endurance > 0 && d.wear >= m.endurance ->
+              d.defect <- Some (if d.state then Stuck_1 else Stuck_0)
+          | _ -> ()
+        end
+      end
+
+let read d =
+  match d.model with
+  | Some m when m.read_disturb > 0.0 && Logic.Prng.float m.rng < m.read_disturb ->
+      not d.state
+  | _ -> d.state
+
+let clear d = switch d false
+let set d = switch d true
+let write d v = switch d v
 
 let imp_pulse ~p ~q =
   (* V_COND on P cannot switch P; the interaction sets Q when P is 0. *)
-  q.state <- (not p.state) || q.state
+  if not p.state then switch q true
+
+let imp_apply ~p q = if not p then switch q true
 
 let maj_pulse r ~p ~q =
   (* Fig. 2: R' = P·Q̄ when R = 0 and P + Q̄ when R = 1, i.e. M(P, ¬Q, R). *)
   let nq = not q in
-  r.state <- (p && nq) || ((p || nq) && r.state)
+  switch r ((p && nq) || ((p || nq) && r.state))

@@ -1,4 +1,4 @@
-(** Functional model of a single bipolar RRAM device.
+(** Functional model of a single bipolar RRAM device, ideal or non-ideal.
 
     The state is the internal resistance: [true] = low resistance = logic 1,
     [false] = high resistance = logic 0.  The three operations below are the
@@ -10,14 +10,63 @@
     - {!maj_pulse}: driving the two terminals with the voltage levels encoded
       by logic values P and Q switches the device to
       [R' = P·R + ¬Q·R + P·¬Q = M(P, ¬Q, R)] (Fig. 2) — the intrinsic
-      resistive-majority operation. *)
+      resistive-majority operation.
+
+    Devices created with {!create} are ideal: every pulse lands, reads are
+    noiseless, endurance is unlimited.  Devices created with {!create_with}
+    obey a non-ideal {!model}: manufacturing defects pin the cell at one
+    resistance level, a switching pulse can fail to flip the filament,
+    a read can transiently return the wrong level, and each successful
+    switching event consumes one cycle of a finite endurance budget, after
+    which the cell freezes (wears out) in its current state.  All
+    randomness is drawn from the model's deterministic PRNG. *)
+
+type defect = Stuck_0 | Stuck_1
+(** A cell permanently pinned in the high- (0) or low- (1) resistance
+    state — from manufacturing, or from wear-out at runtime. *)
+
+type model
+(** Non-ideality parameters shared by the devices of one crossbar. *)
+
+val model :
+  ?write_fail:float ->
+  ?read_disturb:float ->
+  ?endurance:int ->
+  seed:int ->
+  unit ->
+  model
+(** [write_fail] is the probability that a switching pulse leaves the state
+    unchanged (default 0); [read_disturb] the probability that a read
+    returns the complement of the stored state without altering it
+    (default 0); [endurance] the number of switching events before the
+    cell freezes, 0 meaning unlimited (default). *)
 
 type t
 
 val create : unit -> t
-(** A fresh device in the 0 (high-resistance) state. *)
+(** A fresh ideal device in the 0 (high-resistance) state. *)
+
+val create_with : ?defect:defect -> model -> t
+(** A fresh device governed by a non-ideal model, optionally with a
+    manufacturing defect. *)
+
+val set_defect : t -> defect -> unit
+(** Pin the cell: its state snaps to the defect value and every subsequent
+    pulse is ignored.  Works on ideal devices too (used for fault
+    injection). *)
+
+val defect : t -> defect option
+val wear : t -> int
+(** Number of successful switching events so far. *)
 
 val read : t -> bool
+(** Sensed value; subject to transient read disturb under a non-ideal
+    model. *)
+
+val observe : t -> bool
+(** The true stored state, bypassing read noise.  For traces, debugging and
+    differential diagnosis — not something the hardware controller has. *)
+
 val clear : t -> unit
 val set : t -> unit
 val write : t -> bool -> unit
@@ -25,6 +74,10 @@ val write : t -> bool -> unit
 
 val imp_pulse : p:t -> q:t -> unit
 (** [q ← p IMP q].  [p] is unchanged. *)
+
+val imp_apply : p:bool -> t -> unit
+(** [q ← p IMP q] with the source value already latched — the interpreter's
+    parallel-step semantics, avoiding a scratch device per pulse. *)
 
 val maj_pulse : t -> p:bool -> q:bool -> unit
 (** [r ← M(p, ¬q, r)]. *)

@@ -6,15 +6,20 @@
     the fraction of fault configurations under which the program still
     computes its function on a set of test vectors.
 
-    Because the two realizations need different device counts per gate
-    (6 vs 4) and different step counts, they expose different fault
-    surfaces; the [voter] example and the bench ablation quantify this. *)
+    Beyond the raw yield of an unprotected program, {!yield_comparison}
+    measures what the two fault-tolerance mechanisms buy on the same broken
+    silicon: the {!Resilient} detect–remap–retry controller and the {!Tmr}
+    majority-voting transform. *)
 
 type injection = { cell : Isa.reg; value : bool }
 
 val random_faults : Logic.Prng.t -> num_cells:int -> rate:float -> injection list
 (** Each cell is independently stuck with probability [rate] (value
     uniform). *)
+
+val to_defects : injection list -> (Isa.reg * Device.defect) list
+(** The same fault set in {!Device.defect} form, for {!Interp.run} and
+    {!Resilient.env_of_defects}. *)
 
 val survives :
   Program.t -> reference:(bool array -> bool array) -> injection list -> bool array list -> bool
@@ -37,3 +42,27 @@ val functional_yield :
   yield_result
 (** Monte-Carlo yield at the given per-cell fault rate; test vectors are
     random (plus the all-zero and all-one corners). *)
+
+type comparison = {
+  rate : float;
+  cells : int;  (** devices of the unprotected program *)
+  tmr_cells : int;  (** devices of the TMR-protected program *)
+  baseline : yield_result;  (** run as compiled, no defense *)
+  resilient : yield_result;  (** with the {!Resilient} remap/retry loop *)
+  tmr : yield_result;  (** the {!Tmr}-protected program, unassisted *)
+}
+
+val yield_comparison :
+  ?seed:int ->
+  ?trials:int ->
+  ?vectors:int ->
+  ?max_attempts:int ->
+  rate:float ->
+  Program.t ->
+  reference:(bool array -> bool array) ->
+  comparison
+(** Each trial draws one stuck-at defect map over a physical universe wide
+    enough for the TMR array and the remapper's spare cells, then scores
+    all three arms against it.  The per-cell rate is identical across arms;
+    TMR and remapping expose more cells, which is exactly the trade being
+    measured. *)

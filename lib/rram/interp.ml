@@ -1,13 +1,19 @@
-let run ?(stuck = []) ?trace (program : Program.t) inputs =
+let crossbar ?model ?(defects = []) ?(stuck = []) num_regs =
+  let devices =
+    match model with
+    | None -> Array.init num_regs (fun _ -> Device.create ())
+    | Some m -> Array.init num_regs (fun _ -> Device.create_with m)
+  in
+  let pin (r, d) = if r >= 0 && r < num_regs then Device.set_defect devices.(r) d in
+  List.iter pin defects;
+  List.iter (fun (r, v) -> pin (r, if v then Device.Stuck_1 else Device.Stuck_0)) stuck;
+  devices
+
+let run_on ~devices ?trace (program : Program.t) inputs =
   if Array.length inputs <> program.Program.num_inputs then
     invalid_arg "Interp.run: input count";
-  let devices = Array.init program.Program.num_regs (fun _ -> Device.create ()) in
-  let enforce_stuck () =
-    List.iter
-      (fun (r, v) -> if r < Array.length devices then Device.write devices.(r) v)
-      stuck
-  in
-  enforce_stuck ();
+  if Array.length devices < program.Program.num_regs then
+    invalid_arg "Interp.run_on: crossbar too small";
   let operand_value = function
     | Isa.Input i -> inputs.(i)
     | Isa.Reg r -> Device.read devices.(r)
@@ -26,21 +32,15 @@ let run ?(stuck = []) ?trace (program : Program.t) inputs =
             | Isa.Reset r -> fun () -> Device.clear devices.(r)
             | Isa.Imp { src; dst } ->
                 let p = Device.read devices.(src) in
-                (* imp_pulse reads p at pulse time; p was latched, emulate by
-                   a one-device scratch holding the latched value *)
-                fun () ->
-                  let scratch = Device.create () in
-                  Device.write scratch p;
-                  Device.imp_pulse ~p:scratch ~q:devices.(dst)
+                fun () -> Device.imp_apply ~p devices.(dst)
             | Isa.Maj_pulse { p; q; dst } ->
                 let pv = operand_value p and qv = operand_value q in
                 fun () -> Device.maj_pulse devices.(dst) ~p:pv ~q:qv)
           step
       in
       List.iter (fun act -> act ()) actions;
-      enforce_stuck ();
       match trace with
-      | Some f -> f (idx + 1) step (Array.map Device.read devices)
+      | Some f -> f (idx + 1) step (Array.map Device.observe devices)
       | None -> ())
     program.Program.steps;
   Array.map
@@ -50,5 +50,9 @@ let run ?(stuck = []) ?trace (program : Program.t) inputs =
       | Isa.Reg r -> Device.read devices.(r)
       | Isa.Const b -> b)
     program.Program.outputs
+
+let run ?model ?defects ?stuck ?trace (program : Program.t) inputs =
+  let devices = crossbar ?model ?defects ?stuck program.Program.num_regs in
+  run_on ~devices ?trace program inputs
 
 let run_vectors program vectors = List.map (run program) vectors

@@ -3,9 +3,37 @@
     Steps have parallel semantics — every micro-operation in a step reads the
     pre-step device states; this matches the hardware, where all pulses of a
     step are applied in the same clock.  A trace callback can observe every
-    executed step (used by the [crossbar_trace] example). *)
+    executed step (used by the [crossbar_trace] example and the differential
+    diagnosis of {!Resilient}).
+
+    The crossbar is ideal by default.  Passing [model] runs the same program
+    on non-ideal devices (probabilistic write failure, transient read
+    disturb, finite endurance — see {!Device.model}); [defects] pins
+    individual cells stuck at 0 or 1 before execution. *)
+
+val crossbar :
+  ?model:Device.model ->
+  ?defects:(Isa.reg * Device.defect) list ->
+  ?stuck:(Isa.reg * bool) list ->
+  int ->
+  Device.t array
+(** [crossbar n] allocates [n] fresh devices with the given non-idealities
+    applied.  Defect entries outside [0, n) are ignored (they name physical
+    cells the program does not use). *)
+
+val run_on :
+  devices:Device.t array ->
+  ?trace:(int -> Isa.step -> bool array -> unit) ->
+  Program.t ->
+  bool array ->
+  bool array
+(** Execute on an existing crossbar, preserving its devices' wear and
+    acquired defects across runs — the cycle loop of {!Seq_exec} uses this
+    so endurance exhaustion accumulates over a stream. *)
 
 val run :
+  ?model:Device.model ->
+  ?defects:(Isa.reg * Device.defect) list ->
   ?stuck:(Isa.reg * bool) list ->
   ?trace:(int -> Isa.step -> bool array -> unit) ->
   Program.t ->
@@ -13,8 +41,8 @@ val run :
   bool array
 (** [run program inputs] returns one boolean per program output.  The trace
     callback receives the 1-based step index, the step, and the post-step
-    device states.  [stuck] models stuck-at device faults: the listed cells
-    ignore every pulse and always read the given value (used by
-    {!Faults}). *)
+    device states (noiseless {!Device.observe} values).  [stuck] is the
+    legacy boolean spelling of [defects]: the listed cells ignore every pulse
+    and always hold the given value (used by {!Faults}). *)
 
 val run_vectors : Program.t -> bool array list -> bool array list

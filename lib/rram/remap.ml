@@ -1,0 +1,74 @@
+type t = {
+  program : Program.t;
+  moves : (Isa.reg * Isa.reg) list;
+  spares_left : int;
+}
+
+let live_regs (p : Program.t) =
+  let live = Array.make (max 1 p.Program.num_regs) false in
+  let mark = function Isa.Reg r -> live.(r) <- true | Isa.Input _ | Isa.Const _ -> () in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun micro ->
+          live.(Isa.micro_dst micro) <- true;
+          List.iter mark (Isa.micro_reads micro))
+        step)
+    p.Program.steps;
+  Array.iter mark p.Program.outputs;
+  live
+
+let subst_operand f = function
+  | Isa.Reg r -> Isa.Reg (f r)
+  | (Isa.Input _ | Isa.Const _) as o -> o
+
+let subst_micro f = function
+  | Isa.Load (r, o) -> Isa.Load (f r, subst_operand f o)
+  | Isa.Reset r -> Isa.Reset (f r)
+  | Isa.Imp { src; dst } -> Isa.Imp { src = f src; dst = f dst }
+  | Isa.Maj_pulse { p; q; dst } ->
+      Isa.Maj_pulse { p = subst_operand f p; q = subst_operand f q; dst = f dst }
+
+let remap ?placement (p : Program.t) ~bad =
+  let live = live_regs p in
+  let needed =
+    List.sort_uniq compare bad
+    |> List.filter (fun r -> r >= 0 && r < p.Program.num_regs && live.(r))
+  in
+  if needed = [] then Ok { program = p; moves = []; spares_left = max_int }
+  else begin
+    (* Fresh registers are fresh physical cells: the dead cell keeps its index
+       (and its defect), the replacement gets a previously untouched index, so
+       a physical defect map stays valid across repeated remaps. *)
+    let capacity =
+      match placement with
+      | None -> max_int
+      | Some pl -> pl.Placement.rows * pl.Placement.columns
+    in
+    let num_regs' = p.Program.num_regs + List.length needed in
+    if num_regs' > capacity then
+      Error
+        (Printf.sprintf "out of spare cells: need %d registers, array holds %d"
+           num_regs' capacity)
+    else begin
+      let subst = Hashtbl.create 7 in
+      List.iteri
+        (fun i r -> Hashtbl.replace subst r (p.Program.num_regs + i))
+        needed;
+      let f r = try Hashtbl.find subst r with Not_found -> r in
+      let program =
+        {
+          p with
+          Program.num_regs = num_regs';
+          steps = List.map (List.map (subst_micro f)) p.Program.steps;
+          outputs = Array.map (subst_operand f) p.Program.outputs;
+        }
+      in
+      Ok
+        {
+          program;
+          moves = List.map (fun r -> (r, f r)) needed;
+          spares_left = (if capacity = max_int then max_int else capacity - num_regs');
+        }
+    end
+  end

@@ -23,12 +23,13 @@ let steps_per_cycle t = Program.num_steps t.program
 let rrams t = t.program.Program.num_regs
 let program t = t.program
 
-let run t stream =
+let run ?model ?defects t stream =
+  let devices = Interp.crossbar ?model ?defects t.program.Program.num_regs in
   let state = ref (Array.copy t.init) in
   List.map
     (fun inputs ->
       if Array.length inputs <> t.num_pis then invalid_arg "Seq_exec.run: input width";
-      let all = Interp.run t.program (Array.append inputs !state) in
+      let all = Interp.run_on ~devices t.program (Array.append inputs !state) in
       state := Array.sub all t.num_pos (Array.length t.init);
       Array.sub all 0 t.num_pos)
     stream

@@ -1,0 +1,79 @@
+type t = {
+  program : Program.t;
+  replicas : int;
+  voters : int;
+}
+
+let shift_operand k = function
+  | Isa.Reg r -> Isa.Reg (r + k)
+  | (Isa.Input _ | Isa.Const _) as o -> o
+
+let shift_micro k = function
+  | Isa.Load (r, o) -> Isa.Load (r + k, shift_operand k o)
+  | Isa.Reset r -> Isa.Reset (r + k)
+  | Isa.Imp { src; dst } -> Isa.Imp { src = src + k; dst = dst + k }
+  | Isa.Maj_pulse { p; q; dst } ->
+      Isa.Maj_pulse { p = shift_operand k p; q = shift_operand k q; dst = dst + k }
+
+let protect (p : Program.t) =
+  let n = p.Program.num_regs in
+  (* The three replicas occupy disjoint register ranges and execute in
+     lock-step: step k of the protected program is the union of step k of
+     each replica, sharing the crossbar's parallel-pulse semantics. *)
+  let steps =
+    List.map
+      (fun step ->
+        List.concat_map (fun k -> List.map (shift_micro (k * n)) step) [ 0; 1; 2 ])
+      p.Program.steps
+  in
+  (* Voting uses the paper's own resistive-majority primitive.  For each
+     replicated output a: replica 0, b: replica 1, c: replica 2 —
+       prep: t ← FALSE, v ← c        (one parallel step)
+       inv:  t ← M(1, ¬b, 0) = ¬b
+       vote: v ← M(a, ¬t, c) = M(a, b, c). *)
+  let next = ref (3 * n) in
+  let fresh () =
+    let r = !next in
+    incr next;
+    r
+  in
+  let prep = ref [] and inv = ref [] and vote = ref [] in
+  let memo = Hashtbl.create 7 in
+  let voters = ref 0 in
+  let outputs =
+    Array.map
+      (fun o ->
+        match o with
+        | Isa.Input _ | Isa.Const _ -> o
+        | Isa.Reg r -> (
+            match Hashtbl.find_opt memo r with
+            | Some v -> Isa.Reg v
+            | None ->
+                let t = fresh () and v = fresh () in
+                incr voters;
+                prep := Isa.Reset t :: Isa.Load (v, Isa.Reg (r + (2 * n))) :: !prep;
+                inv := Isa.Maj_pulse { p = Isa.Const true; q = Isa.Reg (r + n); dst = t } :: !inv;
+                vote := Isa.Maj_pulse { p = Isa.Reg r; q = Isa.Reg t; dst = v } :: !vote;
+                Hashtbl.replace memo r v;
+                Isa.Reg v))
+      p.Program.outputs
+  in
+  let voting_steps =
+    List.filter (fun s -> s <> []) [ List.rev !prep; List.rev !inv; List.rev !vote ]
+  in
+  {
+    program =
+      {
+        p with
+        Program.num_regs = !next;
+        steps = steps @ voting_steps;
+        outputs;
+      };
+    replicas = 3;
+    voters = !voters;
+  }
+
+let overhead (p : Program.t) (tmr : t) =
+  ( float_of_int tmr.program.Program.num_regs /. float_of_int (max 1 p.Program.num_regs),
+    float_of_int (Program.num_steps tmr.program)
+    /. float_of_int (max 1 (Program.num_steps p)) )

@@ -345,14 +345,229 @@ let placement_tests =
         check bool "at most 2 rows" true (t.Rram.Placement.rows <= 2));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Non-ideal devices, fault semantics, remapping, TMR                   *)
+(* ------------------------------------------------------------------ *)
+
+let nonideal_device_tests =
+  let open Alcotest in
+  [
+    test_case "zeroed model behaves ideally" `Quick (fun () ->
+        let m = Rram.Device.model ~seed:1 () in
+        let d = Rram.Device.create_with m in
+        Rram.Device.set d;
+        check bool "set" true (Rram.Device.read d);
+        Rram.Device.clear d;
+        check bool "clear" false (Rram.Device.read d));
+    test_case "write_fail = 1.0 never switches" `Quick (fun () ->
+        let m = Rram.Device.model ~write_fail:1.0 ~seed:2 () in
+        let d = Rram.Device.create_with m in
+        Rram.Device.set d;
+        Rram.Device.write d true;
+        check bool "still 0" false (Rram.Device.read d);
+        check int "no wear" 0 (Rram.Device.wear d));
+    test_case "read_disturb = 1.0 flips every read but not the state" `Quick (fun () ->
+        let m = Rram.Device.model ~read_disturb:1.0 ~seed:3 () in
+        let d = Rram.Device.create_with m in
+        check bool "reads 1" true (Rram.Device.read d);
+        check bool "stores 0" false (Rram.Device.observe d));
+    test_case "endurance exhaustion freezes the cell" `Quick (fun () ->
+        let m = Rram.Device.model ~endurance:3 ~seed:4 () in
+        let d = Rram.Device.create_with m in
+        Rram.Device.set d;
+        Rram.Device.clear d;
+        Rram.Device.set d;
+        (* three switching events: the cell wears out stuck at 1 *)
+        check bool "worn out" true (Rram.Device.defect d = Some Rram.Device.Stuck_1);
+        Rram.Device.clear d;
+        check bool "frozen" true (Rram.Device.read d));
+    test_case "defective cell ignores every pulse" `Quick (fun () ->
+        let d = Rram.Device.create () in
+        Rram.Device.set_defect d Rram.Device.Stuck_0;
+        Rram.Device.set d;
+        Rram.Device.maj_pulse d ~p:true ~q:false;
+        Rram.Device.imp_apply ~p:false d;
+        check bool "still 0" false (Rram.Device.read d));
+    test_case "only state changes wear the cell" `Quick (fun () ->
+        let d = Rram.Device.create () in
+        Rram.Device.clear d;
+        Rram.Device.write d false;
+        check int "no-op writes are free" 0 (Rram.Device.wear d);
+        Rram.Device.set d;
+        check int "one switch" 1 (Rram.Device.wear d));
+  ]
+
+let fault_reference_setup () =
+  let net = Funcgen.rd 5 3 in
+  let mig = Core.Mig_opt.steps ~effort:8 (Core.Mig_of_network.convert net) in
+  (mig, Core.Mig_sim.eval mig)
+
+(* A single stuck-at fault that flips at least one output on some vector. *)
+let find_breaking_fault program ~reference vectors =
+  let result = ref None in
+  (try
+     for cell = 0 to program.Rram.Program.num_regs - 1 do
+       List.iter
+         (fun value ->
+           let f = { Rram.Faults.cell; value } in
+           if not (Rram.Faults.survives program ~reference [ f ] vectors) then begin
+             result := Some f;
+             raise Exit
+           end)
+         [ true; false ]
+     done
+   with Exit -> ());
+  !result
+
+let fault_semantics_tests =
+  let open Alcotest in
+  [
+    test_case "yield at rate 0.0 is exactly 1.0 (both realizations)" `Quick (fun () ->
+        let mig, reference = fault_reference_setup () in
+        List.iter
+          (fun realization ->
+            let r = Rram.Compile_mig.compile realization mig in
+            let y =
+              Rram.Faults.functional_yield ~trials:50 ~rate:0.0
+                r.Rram.Compile_mig.program ~reference
+            in
+            check (float 0.0) "yield" 1.0 y.Rram.Faults.yield;
+            check (float 0.0) "mean faults" 0.0 y.Rram.Faults.mean_faults)
+          [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]);
+    test_case "a stuck cell that is never live cannot change outputs" `Quick (fun () ->
+        let mig, reference = fault_reference_setup () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        let p = r.Rram.Compile_mig.program in
+        (* a spare physical cell beyond every register the program touches *)
+        let widened = { p with Rram.Program.num_regs = p.Rram.Program.num_regs + 1 } in
+        let spare = p.Rram.Program.num_regs in
+        let vectors = Rram.Verify.vectors p.Rram.Program.num_inputs in
+        List.iter
+          (fun value ->
+            check bool "outputs unchanged" true
+              (Rram.Faults.survives widened ~reference
+                 [ { Rram.Faults.cell = spare; value } ]
+                 vectors))
+          [ true; false ];
+        (* the resilient executor agrees: nothing to detect, nothing remapped *)
+        let env = Rram.Resilient.env_of_defects [ (spare, Rram.Device.Stuck_1) ] in
+        let report = Rram.Resilient.run env widened ~reference in
+        check bool "ok" true report.Rram.Resilient.ok;
+        check int "first attempt" 1 report.Rram.Resilient.attempts;
+        check int "no moves" 0 (List.length report.Rram.Resilient.moves));
+    test_case "repair succeeds where the unrepaired program fails" `Quick (fun () ->
+        let mig, reference = fault_reference_setup () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        let p = r.Rram.Compile_mig.program in
+        let vectors = Rram.Verify.vectors p.Rram.Program.num_inputs in
+        match find_breaking_fault p ~reference vectors with
+        | None -> fail "expected a breaking single stuck-at fault"
+        | Some f ->
+            (* unrepaired: fails by construction *)
+            check bool "unrepaired fails" false
+              (Rram.Faults.survives p ~reference [ f ] vectors);
+            let env = Rram.Resilient.env_of_defects (Rram.Faults.to_defects [ f ]) in
+            let report = Rram.Resilient.run env p ~reference in
+            check bool "repaired" true report.Rram.Resilient.ok;
+            check bool "needed a retry" true (report.Rram.Resilient.attempts > 1);
+            check bool "diagnosed the injected cell" true
+              (List.mem f.Rram.Faults.cell report.Rram.Resilient.diagnosed);
+            (* the repaired program no longer touches the dead cell *)
+            let live = Rram.Remap.live_regs report.Rram.Resilient.program in
+            check bool "dead cell abandoned" false live.(f.Rram.Faults.cell));
+    test_case "remapped program verifies and grows only by the moves" `Quick (fun () ->
+        let mig, _ = fault_reference_setup () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Imp mig in
+        let p = r.Rram.Compile_mig.program in
+        match Rram.Remap.remap p ~bad:[ 0; 3 ] with
+        | Error e -> fail e
+        | Ok m ->
+            check int "two moves" 2 (List.length m.Rram.Remap.moves);
+            check int "regs grew by 2" (p.Rram.Program.num_regs + 2)
+              m.Rram.Remap.program.Rram.Program.num_regs;
+            (match Rram.Program.validate m.Rram.Remap.program with
+            | Ok () -> ()
+            | Error e -> fail e);
+            (match Rram.Verify.against_mig m.Rram.Remap.program mig with
+            | Ok () -> ()
+            | Error e -> fail e));
+    test_case "remap refuses when the placement has no spares" `Quick (fun () ->
+        let mig, _ = fault_reference_setup () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        let p = r.Rram.Compile_mig.program in
+        let placement = Rram.Placement.place p in
+        (* a fully-utilized array has capacity = num_regs: no spare sites *)
+        let full = { placement with Rram.Placement.rows = 1; columns = p.Rram.Program.num_regs } in
+        match Rram.Remap.remap ~placement:full p ~bad:[ 0 ] with
+        | Error _ -> ()
+        | Ok _ -> fail "expected an out-of-spares error");
+  ]
+
+let tmr_tests =
+  let open Alcotest in
+  [
+    test_case "TMR program is valid and fault-free correct" `Quick (fun () ->
+        let mig, reference = fault_reference_setup () in
+        List.iter
+          (fun realization ->
+            let r = Rram.Compile_mig.compile realization mig in
+            let p = r.Rram.Compile_mig.program in
+            let tmr = Rram.Tmr.protect p in
+            (match Rram.Program.validate tmr.Rram.Tmr.program with
+            | Ok () -> ()
+            | Error e -> fail e);
+            List.iter
+              (fun v ->
+                check bool "matches reference" true
+                  (Rram.Interp.run tmr.Rram.Tmr.program v = reference v))
+              (Rram.Verify.vectors p.Rram.Program.num_inputs))
+          [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]);
+    test_case "TMR with one faulty replica still verifies" `Quick (fun () ->
+        let mig, reference = fault_reference_setup () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        let p = r.Rram.Compile_mig.program in
+        let vectors = Rram.Verify.vectors p.Rram.Program.num_inputs in
+        match find_breaking_fault p ~reference vectors with
+        | None -> fail "expected a breaking single stuck-at fault"
+        | Some f ->
+            let tmr = Rram.Tmr.protect p in
+            let n = p.Rram.Program.num_regs in
+            (* the same defect in each replica in turn: always voted out *)
+            List.iter
+              (fun k ->
+                let shifted = { f with Rram.Faults.cell = f.Rram.Faults.cell + (k * n) } in
+                check bool
+                  (Printf.sprintf "replica %d masked" k)
+                  true
+                  (Rram.Faults.survives tmr.Rram.Tmr.program ~reference [ shifted ]
+                     vectors))
+              [ 0; 1; 2 ]);
+    test_case "TMR beats baseline yield at rate 0.01" `Quick (fun () ->
+        let mig, reference = fault_reference_setup () in
+        let r = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        let c =
+          Rram.Faults.yield_comparison ~trials:150 ~rate:0.01 r.Rram.Compile_mig.program
+            ~reference
+        in
+        check bool "tmr > baseline" true
+          (c.Rram.Faults.tmr.Rram.Faults.yield
+          > c.Rram.Faults.baseline.Rram.Faults.yield);
+        check bool "resilient >= tmr" true
+          (c.Rram.Faults.resilient.Rram.Faults.yield
+          >= c.Rram.Faults.tmr.Rram.Faults.yield));
+  ]
+
 let () =
   Alcotest.run "rram"
     [
       ("device", device_tests);
+      ("nonideal-device", nonideal_device_tests);
       ("paper-sequences", sequence_tests);
       ("mig-compile", mig_compile_tests);
       ("mig-compile-props", List.map QCheck_alcotest.to_alcotest mig_compile_props);
       ("baselines", baseline_tests);
       ("energy", energy_tests);
       ("placement", placement_tests);
+      ("fault-semantics", fault_semantics_tests);
+      ("tmr", tmr_tests);
     ]
