@@ -8,7 +8,10 @@
      4. §IV-A     — runtime claim ("each algorithm < 3 s for the whole set")
      5. Bechamel  — one Test.make per table
 
-   EFFORT (env var) overrides the paper's effort = 40. *)
+   EFFORT (env var) overrides the paper's effort = 40.
+   --json [FILE] additionally writes a machine-readable per-benchmark
+   summary (default FILE: BENCH_results.json); CI uploads it as an
+   artifact. *)
 
 open Bechamel
 open Toolkit
@@ -17,6 +20,15 @@ let effort =
   match Sys.getenv_opt "EFFORT" with
   | Some v -> int_of_string v
   | None -> Core.Mig_opt.default_effort
+
+let json_path =
+  let rec scan = function
+    | [] -> None
+    | "--json" :: p :: _ when String.length p > 0 && p.[0] <> '-' -> Some p
+    | "--json" :: _ -> Some "BENCH_results.json"
+    | _ :: rest -> scan rest
+  in
+  scan (Array.to_list Sys.argv)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -77,6 +89,15 @@ let () =
   time_algorithm "rram-costs MAJ (Alg. 3)"
     (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj);
   time_algorithm "steps (Alg. 4)" (Core.Mig_opt.steps ~effort);
+
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      section "JSON export (--json)";
+      let rows, dt = wall (fun () -> Exp.Experiments.profile ~effort ()) in
+      Obs.write_json path (Exp.Experiments.profile_json ~effort ~elapsed_seconds:dt rows);
+      Printf.printf "  wrote %s (%d benchmarks, per-algorithm wall times; %.2f s)\n" path
+        (List.length rows) dt);
 
   section "Ablations (design-choice studies; see DESIGN.md)";
   let pick name = Option.get (Io.Benchmarks.find name) in

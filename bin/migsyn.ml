@@ -6,9 +6,61 @@
      map       compile to an RRAM program, report costs, verify, dump
      compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
      bench     run the paper's experiment rows for named benchmarks
-     faults    stuck-at repair demo + baseline/resilient/TMR yield experiment *)
+     faults    stuck-at repair demo + baseline/resilient/TMR yield experiment
+     profile   optimize + compile + execute with a timing/counter report
+
+   Every subcommand accepts --trace FILE (Chrome trace-event JSON, loadable
+   in chrome://tracing or Perfetto) and --metrics FILE (flat metrics JSON);
+   either flag switches the Obs layer on for the run. *)
 
 open Cmdliner
+
+(* ---------------- observability plumbing ---------------- *)
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of this run (open in \
+           chrome://tracing or https://ui.perfetto.dev). Enables the \
+           observability layer.")
+
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a flat metrics JSON (counters, gauges, histograms, \
+           optimization trajectories, span aggregates) of this run. \
+           Enables the observability layer.")
+
+(* Run [f] with the Obs layer switched on when either export flag was
+   given, and write the requested artifacts even if [f] fails partway. *)
+let with_obs trace metrics f =
+  if trace <> None || metrics <> None then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end;
+  let export () =
+    (match trace with
+    | Some path ->
+        Obs.write_json path (Obs.chrome_trace_json ());
+        Format.printf "wrote trace %s@." path
+    | None -> ());
+    match metrics with
+    | Some path ->
+        Obs.write_json path (Obs.metrics_json ());
+        Format.printf "wrote metrics %s@." path
+    | None -> ()
+  in
+  match f () with
+  | v ->
+      export ();
+      v
+  | exception e ->
+      export ();
+      raise e
 
 let parse_netlist path =
   let wrap line msg = failwith (Printf.sprintf "%s:%d: %s" path line msg) in
@@ -78,7 +130,8 @@ let realization_arg =
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
-  let run path =
+  let run trace metrics path =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     Format.printf "network: %a@." Logic.Network.pp_stats net;
     let mig = Core.Mig_of_network.convert net in
@@ -100,7 +153,7 @@ let stats_cmd =
       (Core.Rram_cost.of_mig Core.Rram_cost.Maj mig)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print representation statistics for a netlist")
-    Term.(const run $ input_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ input_arg)
 
 (* ---------------- optimize ---------------- *)
 
@@ -110,7 +163,8 @@ let optimize_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the optimized MIG as BLIF.")
   in
-  let run path alg effort out =
+  let run trace metrics path alg effort out =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_of_network.convert net in
     let before_imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp mig in
@@ -132,7 +186,9 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a netlist with one of the paper's algorithms")
-    Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ out_arg)
+    Term.(
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ out_arg)
 
 (* ---------------- map ---------------- *)
 
@@ -143,7 +199,8 @@ let map_cmd =
   let no_verify_arg =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip simulator verification.")
   in
-  let run path alg effort realization dump no_verify =
+  let run trace metrics path alg effort realization dump no_verify =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let r = Rram.Compile_mig.compile realization mig in
@@ -169,13 +226,14 @@ let map_cmd =
   in
   Cmd.v (Cmd.info "map" ~doc:"Compile a netlist to an RRAM program")
     Term.(
-      const run $ input_arg $ algorithm_arg $ effort_arg $ realization_arg $ dump_arg
-      $ no_verify_arg)
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ realization_arg $ dump_arg $ no_verify_arg)
 
 (* ---------------- compare ---------------- *)
 
 let compare_cmd =
-  let run path effort =
+  let run trace metrics path effort =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_of_network.convert net in
     let rram_maj = Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj mig in
@@ -208,7 +266,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the MIG flow against the BDD and AIG baselines")
-    Term.(const run $ input_arg $ effort_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ input_arg $ effort_arg)
 
 (* ---------------- plim ---------------- *)
 
@@ -216,7 +274,8 @@ let plim_cmd =
   let dump_arg =
     Arg.(value & flag & info [ "p"; "program" ] ~doc:"Dump the RM3 instruction stream.")
   in
-  let run path alg effort dump =
+  let run trace metrics path alg effort dump =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let c = Rram.Plim.compile mig in
@@ -232,7 +291,9 @@ let plim_cmd =
   Cmd.v
     (Cmd.info "plim"
        ~doc:"Compile to an RM3 instruction stream for the PLiM computer [15]")
-    Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ dump_arg)
+    Term.(
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ dump_arg)
 
 (* ---------------- export ---------------- *)
 
@@ -255,7 +316,8 @@ let export_cmd =
       required & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
-  let run path alg effort fmt out =
+  let run trace metrics path alg effort fmt out =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let contents =
@@ -275,7 +337,9 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the optimized MIG as DOT/Verilog/BLIF/bench/AIGER")
-    Term.(const run $ input_arg $ algorithm_arg $ effort_arg $ format_arg $ out_arg)
+    Term.(
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ format_arg $ out_arg)
 
 (* ---------------- faults ---------------- *)
 
@@ -300,7 +364,8 @@ let faults_cmd =
       & info [ "max-attempts" ] ~docv:"N"
           ~doc:"Verification rounds of the resilient executor's remap/retry loop.")
   in
-  let run path alg effort realization rate trials seed attempts =
+  let run trace metrics path alg effort realization rate trials seed attempts =
+    with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let r = Rram.Compile_mig.compile realization mig in
@@ -380,8 +445,76 @@ let faults_cmd =
          "Fault-tolerance experiment: repair a stuck-at defect by remapping, and \
           compare Monte-Carlo yield of baseline vs resilient vs TMR execution")
     Term.(
-      const run $ input_arg $ algorithm_arg $ effort_arg $ realization_arg $ rate_arg
-      $ trials_arg $ seed_arg $ attempts_arg)
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ realization_arg $ rate_arg $ trials_arg $ seed_arg $ attempts_arg)
+
+(* ---------------- profile ---------------- *)
+
+let profile_cmd =
+  let vectors_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "vectors" ] ~docv:"N"
+          ~doc:"Maximum number of input vectors executed on the device simulator.")
+  in
+  let run trace metrics path alg effort realization max_vectors =
+    (* profile always observes, with or without export flags *)
+    Obs.set_enabled true;
+    Obs.reset ();
+    with_obs trace metrics @@ fun () ->
+    let net =
+      Obs.with_span ~cat:"profile" "profile/parse" (fun () -> parse_netlist path)
+    in
+    let mig = Core.Mig_of_network.convert net in
+    let initial_size, initial_depth = Core.Mig.size mig, (Core.Mig_levels.compute mig).Core.Mig_levels.depth in
+    let optimized =
+      Obs.with_span ~cat:"profile" "profile/optimize" (fun () ->
+          Core.Mig_opt.run ~effort alg mig)
+    in
+    let size, depth =
+      (Core.Mig.size optimized, (Core.Mig_levels.compute optimized).Core.Mig_levels.depth)
+    in
+    let compiled =
+      Obs.with_span ~cat:"profile" "profile/compile" (fun () ->
+          Rram.Compile_mig.compile realization optimized)
+    in
+    let program = compiled.Rram.Compile_mig.program in
+    let reference = Core.Mig_sim.eval optimized in
+    let vectors =
+      List.filteri (fun i _ -> i < max_vectors)
+        (Rram.Verify.vectors program.Rram.Program.num_inputs)
+    in
+    let mismatches =
+      Obs.with_span ~cat:"profile" "profile/execute"
+        ~args:[ ("vectors", Obs.Json.Int (List.length vectors)) ]
+        (fun () ->
+          List.fold_left
+            (fun bad v ->
+              if Rram.Interp.run program v = reference v then bad else bad + 1)
+            0 vectors)
+    in
+    Format.printf
+      "profile: %s, %s optimization (effort %d), %a realization@.  MIG: %d -> %d gates, depth %d -> %d@.  program: %d RRAMs, %d steps (analytic %a)@.  executed %d vectors on the device simulator: %s@.@."
+      (Filename.basename path)
+      (Core.Mig_opt.algorithm_name alg)
+      effort Core.Rram_cost.pp_realization realization initial_size size initial_depth
+      depth program.Rram.Program.num_regs
+      (Rram.Program.num_steps program)
+      Core.Rram_cost.pp compiled.Rram.Compile_mig.analytic (List.length vectors)
+      (if mismatches = 0 then "all match the MIG semantics"
+       else Printf.sprintf "%d MISMATCHES" mismatches);
+    Format.printf "%a@." Obs.pp_report ();
+    if mismatches > 0 then failwith "profiled program diverged from the MIG semantics"
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the optimize + compile + execute pipeline with the observability \
+          layer on and print a timing/counter report. Combine with --trace and \
+          --metrics for machine-readable output.")
+    Term.(
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ realization_arg $ vectors_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -389,7 +522,8 @@ let bench_cmd =
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmark names.")
   in
-  let run effort names =
+  let run trace metrics effort names =
+    with_obs trace metrics @@ fun () ->
     let entries =
       match names with
       | [] -> Io.Benchmarks.table2
@@ -408,33 +542,66 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's Table II flow for named benchmarks")
-    Term.(const run $ effort_arg $ names_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ effort_arg $ names_arg)
+
+let subcommands =
+  [
+    stats_cmd;
+    optimize_cmd;
+    map_cmd;
+    compare_cmd;
+    bench_cmd;
+    plim_cmd;
+    export_cmd;
+    faults_cmd;
+    profile_cmd;
+  ]
 
 let () =
   let info =
     Cmd.info "migsyn" ~version:"1.0.0"
       ~doc:"MIG-based logic synthesis for RRAM in-memory computing (DATE 2016)"
   in
-  let group =
-    Cmd.group info
-      [
-        stats_cmd;
-        optimize_cmd;
-        map_cmd;
-        compare_cmd;
-        bench_cmd;
-        plim_cmd;
-        export_cmd;
-        faults_cmd;
-      ]
+  (* Bare `migsyn` (or `migsyn --help`) prints the subcommand overview
+     instead of a missing-COMMAND error. *)
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let group = Cmd.group ~default info subcommands in
+  (* Cmdliner prefixes its diagnostics with the tool name only; capture them
+     and name the offending subcommand too, so `migsyn map --bogus` fails
+     with `migsyn map: unknown option '--bogus'`. *)
+  let err_buf = Buffer.create 256 in
+  let err_fmt = Format.formatter_of_buffer err_buf in
+  let flush_err () =
+    Format.pp_print_flush err_fmt ();
+    let msg = Buffer.contents err_buf in
+    Buffer.clear err_buf;
+    if msg <> "" then begin
+      let sub_names = List.map Cmd.name subcommands in
+      let renamed =
+        if Array.length Sys.argv > 1 && List.mem Sys.argv.(1) sub_names then
+          let prefix = "migsyn: " in
+          let plen = String.length prefix in
+          if String.length msg >= plen && String.sub msg 0 plen = prefix then
+            Printf.sprintf "migsyn %s: %s" Sys.argv.(1)
+              (String.sub msg plen (String.length msg - plen))
+          else msg
+        else msg
+      in
+      prerr_string renamed;
+      flush stderr
+    end
   in
   (* Expected failures (bad netlists, verification mismatches) exit with a
      one-line diagnostic instead of an OCaml backtrace. *)
-  match Cmd.eval ~catch:false group with
-  | code -> exit code
+  match Cmd.eval ~catch:false ~err:err_fmt group with
+  | code ->
+      flush_err ();
+      exit code
   | exception Failure msg ->
+      flush_err ();
       prerr_endline ("migsyn: error: " ^ msg);
       exit 1
   | exception Sys_error msg ->
+      flush_err ();
       prerr_endline ("migsyn: error: " ^ msg);
       exit 1

@@ -100,10 +100,16 @@ let lookup t a b c =
       | Some n when not t.nodes.(n).dead -> Some (signal_of n false)
       | _ -> None)
 
+(* Ω.M fires eagerly on node creation (see the module doc of Mig_algebra);
+   counting it here covers every construction and rewrite path. *)
+let c_omega_m_hit = Obs.counter "mig.rule/omega_m.hits"
+
 let maj t a b c =
   let a, b, c = sort3 a b c in
   match simplify3 a b c with
-  | Some s -> s
+  | Some s ->
+      Obs.incr c_omega_m_hit;
+      s
   | None -> (
       match Hashtbl.find_opt t.strash (a, b, c) with
       | Some n when not t.nodes.(n).dead -> signal_of n false

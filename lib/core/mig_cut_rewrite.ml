@@ -4,11 +4,17 @@ open Logic
    is rebuilt per site over the site's (possibly negated) leaf signals. *)
 let sop_cache : (string, Sop.t) Hashtbl.t = Hashtbl.create 997
 
+let c_cache_hit = Obs.counter "mig.cut_rewrite/npn_cache.hits"
+and c_cache_miss = Obs.counter "mig.cut_rewrite/npn_cache.misses"
+
 let minimized_sop canonical =
   let key = Truth_table.to_bits canonical in
   match Hashtbl.find_opt sop_cache key with
-  | Some sop -> sop
+  | Some sop ->
+      Obs.incr c_cache_hit;
+      sop
   | None ->
+      Obs.incr c_cache_miss;
       let sop = Espresso.minimize (Sop.of_truth_table canonical) in
       Hashtbl.replace sop_cache key sop;
       sop

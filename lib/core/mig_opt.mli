@@ -4,7 +4,14 @@
     {!Mig.cleanup}-style compaction between cycles) and returns a new,
     logically equivalent MIG.  [effort] is the cycle count of the outer
     loop; the paper uses 40.  All algorithms stop early when a full cycle
-    leaves the graph unchanged. *)
+    leaves the graph unchanged.
+
+    When observability is on ({!Obs.set_enabled}), every algorithm records a
+    span per cycle (category ["mig.opt"]) and a
+    ["mig.opt/<name>/trajectory"] series with one
+    [(cycle, size, depth, r_imp, s_imp, r_maj, s_maj)] sample for the
+    initial graph and after each cycle's cleanup; the per-rule hit/miss
+    counters live in {!Mig_passes} (["mig.rule/*"]). *)
 
 val default_effort : int
 (** 40, the paper's setting. *)

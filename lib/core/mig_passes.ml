@@ -1,5 +1,31 @@
 open Logic
 
+(* Per-rule application counters (hits = the rewrite fired, misses = it was
+   attempted on an eligible gate and declined).  One load-and-branch per
+   attempt when observability is off. *)
+let c_omega_d_rl_hit = Obs.counter "mig.rule/omega_d_rl.hits"
+and c_omega_d_rl_miss = Obs.counter "mig.rule/omega_d_rl.misses"
+and c_omega_d_lr_hit = Obs.counter "mig.rule/omega_d_lr.hits"
+and c_omega_d_lr_miss = Obs.counter "mig.rule/omega_d_lr.misses"
+and c_omega_a_hit = Obs.counter "mig.rule/omega_a.hits"
+and c_omega_a_miss = Obs.counter "mig.rule/omega_a.misses"
+and c_psi_c_hit = Obs.counter "mig.rule/psi_c.hits"
+and c_psi_c_miss = Obs.counter "mig.rule/psi_c.misses"
+and c_psi_r_hit = Obs.counter "mig.rule/psi_r.hits"
+and c_psi_r_miss = Obs.counter "mig.rule/psi_r.misses"
+and c_omega_i_hit = Obs.counter "mig.rule/omega_i.hits"
+and c_omega_i_miss = Obs.counter "mig.rule/omega_i.misses"
+
+(* Specializes at partial-application time (once per sweep): when
+   observability is off this returns [rule] itself, so the per-gate loop
+   pays nothing over the uninstrumented code. *)
+let counted hit miss rule =
+  if not (Obs.enabled ()) then rule
+  else fun g ->
+    let fired = rule g in
+    if fired then Obs.incr hit else Obs.incr miss;
+    fired
+
 let sweep mig rule =
   let changed = ref false in
   Mig.foreach_gate mig (fun g ->
@@ -17,31 +43,47 @@ let repeat_until_stable ?(max_iters = 4) pass mig =
   !changed
 
 let eliminate mig =
-  repeat_until_stable (fun m -> sweep m (Mig_algebra.try_distributivity_rl m)) mig
+  repeat_until_stable
+    (fun m ->
+      sweep m (counted c_omega_d_rl_hit c_omega_d_rl_miss (Mig_algebra.try_distributivity_rl m)))
+    mig
 
 let reshape ~seed mig =
   let rng = Prng.create seed in
   let cache = Mig_algebra.Level_cache.make mig in
-  sweep mig (fun g ->
-      if Prng.bool rng then
-        Mig_algebra.try_compl_assoc ~through_compl:false ~fanout_limit:1 mig cache g
-      else
-        Mig_algebra.try_associativity ~strict:false ~through_compl:false
-          ~fanout_limit:1 mig cache g)
+  let psi_c =
+    counted c_psi_c_hit c_psi_c_miss
+      (Mig_algebra.try_compl_assoc ~through_compl:false ~fanout_limit:1 mig cache)
+  in
+  let omega_a =
+    counted c_omega_a_hit c_omega_a_miss
+      (Mig_algebra.try_associativity ~strict:false ~through_compl:false
+         ~fanout_limit:1 mig cache)
+  in
+  sweep mig (fun g -> if Prng.bool rng then psi_c g else omega_a g)
 
 let push_up ?(through_compl = true) ?(fanout_limit = max_int) mig =
   let one m =
     let cache = Mig_algebra.Level_cache.make m in
-    sweep m (fun g ->
-        Mig_algebra.try_distributivity_lr ~through_compl ~fanout_limit m cache g
-        || Mig_algebra.try_associativity ~through_compl ~fanout_limit m cache g
-        || Mig_algebra.try_compl_assoc ~through_compl ~fanout_limit m cache g)
+    let omega_d =
+      counted c_omega_d_lr_hit c_omega_d_lr_miss
+        (Mig_algebra.try_distributivity_lr ~through_compl ~fanout_limit m cache)
+    in
+    let omega_a =
+      counted c_omega_a_hit c_omega_a_miss
+        (Mig_algebra.try_associativity ~through_compl ~fanout_limit m cache)
+    in
+    let psi_c =
+      counted c_psi_c_hit c_psi_c_miss
+        (Mig_algebra.try_compl_assoc ~through_compl ~fanout_limit m cache)
+    in
+    sweep m (fun g -> omega_d g || omega_a g || psi_c g)
   in
   repeat_until_stable ~max_iters:2 one mig
 
 let relevance mig =
   let cache = Mig_algebra.Level_cache.make mig in
-  sweep mig (Mig_algebra.try_relevance mig cache)
+  sweep mig (counted c_psi_r_hit c_psi_r_miss (Mig_algebra.try_relevance mig cache))
 
 type compl_criterion = Always | Weighted of Rram_cost.realization
 
@@ -113,6 +155,7 @@ let compl_prop ?(min_compl = 2) criterion mig =
                   && compl_count lg > 0)
         in
         if accept && Mig_algebra.try_compl_prop ~min_compl mig g then begin
+          Obs.incr c_omega_i_hit;
           changed := true;
           Hashtbl.iter
             (fun l d ->
@@ -120,14 +163,16 @@ let compl_prop ?(min_compl = 2) criterion mig =
                 ncomp.(l) <- max 0 (ncomp.(l) + d))
             deltas
         end
+        else Obs.incr c_omega_i_miss
       end);
   !changed
 
 let balance mig =
   let cache = Mig_algebra.Level_cache.make mig in
   let assoc_changed =
-    sweep mig (fun g ->
-        Mig_algebra.try_associativity ~strict:false ~fanout_limit:1 mig cache g)
+    sweep mig
+      (counted c_omega_a_hit c_omega_a_miss
+         (Mig_algebra.try_associativity ~strict:false ~fanout_limit:1 mig cache))
   in
   let elim_changed = eliminate mig in
   assoc_changed || elim_changed

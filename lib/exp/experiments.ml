@@ -262,6 +262,109 @@ let pp_table3_aig ppf rows =
     aig imp maj (aig /. maj) (aig /. imp)
 
 (* ------------------------------------------------------------------ *)
+(* Profiled suite run and JSON export (bench --json)                   *)
+(* ------------------------------------------------------------------ *)
+
+type timed_alg = {
+  algorithm : Core.Mig_opt.algorithm;
+  size : int;
+  depth : int;
+  imp : cost;
+  maj : cost;
+  seconds : float;
+}
+
+type profile_row = {
+  bench : string;
+  inputs : int;
+  exact : bool;
+  initial_size : int;
+  initial_depth : int;
+  algs : timed_alg list;
+}
+
+let profile_algorithms =
+  Core.Mig_opt.
+    [ Area; Depth; Rram_costs Core.Rram_cost.Imp; Rram_costs Core.Rram_cost.Maj; Steps ]
+
+let profile_row ?effort (e : Io.Benchmarks.entry) =
+  let mig = Core.Mig_of_network.convert (e.Io.Benchmarks.build ()) in
+  let initial_size, initial_depth = Core.Mig_passes.size_and_depth mig in
+  let algs =
+    List.map
+      (fun algorithm ->
+        let t0 = Obs.now_ns () in
+        let optimized = Core.Mig_opt.run ?effort algorithm mig in
+        let seconds = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+        let size, depth = Core.Mig_passes.size_and_depth optimized in
+        {
+          algorithm;
+          size;
+          depth;
+          imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp optimized;
+          maj = Core.Rram_cost.of_mig Core.Rram_cost.Maj optimized;
+          seconds;
+        })
+      profile_algorithms
+  in
+  {
+    bench = e.Io.Benchmarks.name;
+    inputs = e.Io.Benchmarks.inputs;
+    exact = e.Io.Benchmarks.exact;
+    initial_size;
+    initial_depth;
+    algs;
+  }
+
+let profile ?effort () = List.map (profile_row ?effort) Io.Benchmarks.table2
+
+let cost_json (c : cost) =
+  Obs.Json.Assoc
+    [
+      ("rrams", Obs.Json.Int c.Core.Rram_cost.rrams);
+      ("steps", Obs.Json.Int c.Core.Rram_cost.steps);
+    ]
+
+let profile_json ~effort ~elapsed_seconds rows =
+  let open Obs.Json in
+  Assoc
+    [
+      ("schema", String "migsyn-bench/1");
+      ("effort", Int effort);
+      ("elapsed_seconds", Float elapsed_seconds);
+      ( "benchmarks",
+        List
+          (List.map
+             (fun (r : profile_row) ->
+               Assoc
+                 [
+                   ("name", String r.bench);
+                   ("inputs", Int r.inputs);
+                   ("exact", Bool r.exact);
+                   ( "initial",
+                     Assoc
+                       [ ("size", Int r.initial_size); ("depth", Int r.initial_depth) ]
+                   );
+                   ( "algorithms",
+                     List
+                       (List.map
+                          (fun (a : timed_alg) ->
+                            Assoc
+                              [
+                                ( "algorithm",
+                                  String (Core.Mig_opt.algorithm_name a.algorithm) );
+                                ("size", Int a.size);
+                                ("depth", Int a.depth);
+                                ("imp", cost_json a.imp);
+                                ("maj", cost_json a.maj);
+                                ("seconds", Float a.seconds);
+                              ])
+                          r.algs) );
+                 ])
+             rows) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Verification and the Table I cross-check                            *)
 (* ------------------------------------------------------------------ *)
 

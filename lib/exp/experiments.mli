@@ -57,6 +57,34 @@ val table3_aig_row : ?effort:int -> Io.Benchmarks.entry -> aig_row
 val table3_aig : ?effort:int -> unit -> aig_row list
 val pp_table3_aig : Format.formatter -> aig_row list -> unit
 
+type timed_alg = {
+  algorithm : Core.Mig_opt.algorithm;
+  size : int;  (** MIG gate count after the algorithm *)
+  depth : int;  (** MIG depth after the algorithm *)
+  imp : cost;
+  maj : cost;
+  seconds : float;  (** wall time of this optimization run (monotonic clock) *)
+}
+
+type profile_row = {
+  bench : string;
+  inputs : int;
+  exact : bool;
+  initial_size : int;
+  initial_depth : int;
+  algs : timed_alg list;  (** Algs. 1–4 (both Alg. 3 realizations), in order *)
+}
+
+val profile_row : ?effort:int -> Io.Benchmarks.entry -> profile_row
+val profile : ?effort:int -> unit -> profile_row list
+(** Per-benchmark before/after shape and per-algorithm wall time over the
+    Table II suite — the machine-readable counterpart of [table2], used by
+    [bench --json]. *)
+
+val profile_json : effort:int -> elapsed_seconds:float -> profile_row list -> Obs.Json.t
+(** Serializes [profile] rows as the [BENCH_results.json] document
+    (schema ["migsyn-bench/1"]). *)
+
 val verify_entry : ?effort:int -> Io.Benchmarks.entry -> (unit, string) result
 (** End-to-end check for one benchmark: optimize (multi-objective, MAJ),
     compile both realizations, execute on the device simulator against the

@@ -1,0 +1,360 @@
+module Json = Json
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+let now_ns () = Monotonic_clock.now ()
+
+(* Trace timestamps are reported relative to this origin so they stay small
+   and readable in trace viewers. *)
+let epoch = ref (now_ns ())
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c_count : int }
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : (int, int) Hashtbl.t;
+}
+
+type series = {
+  s_name : string;
+  (* most recent first; each sample keeps its monotonic timestamp so it can
+     be exported as a Chrome counter event *)
+  mutable s_samples : (int64 * (string * float) list) list;
+}
+
+type span_event = {
+  e_name : string;
+  e_cat : string;
+  e_start : int64;
+  e_dur : int64;
+  e_args : (string * Json.t) list;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let series_tbl : (string, series) Hashtbl.t = Hashtbl.create 16
+let events : span_event list ref = ref []
+
+let registered tbl make name =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+      let v = make name in
+      Hashtbl.replace tbl name v;
+      v
+
+let counter = registered counters_tbl (fun name -> { c_name = name; c_count = 0 })
+let incr ?(by = 1) c = if !enabled_flag then c.c_count <- c.c_count + by
+let count c = c.c_count
+
+let gauge = registered gauges_tbl (fun name -> { g_name = name; g_value = 0.0; g_set = false })
+
+let set_gauge g v =
+  if !enabled_flag then begin
+    g.g_value <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = g.g_value
+
+let histogram =
+  registered histograms_tbl (fun name ->
+      {
+        h_name = name;
+        h_count = 0;
+        h_sum = 0;
+        h_min = max_int;
+        h_max = min_int;
+        h_buckets = Hashtbl.create 16;
+      })
+
+let observe h v =
+  if !enabled_flag then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    Hashtbl.replace h.h_buckets v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets v))
+  end
+
+let histogram_count h = h.h_count
+
+let histogram_buckets h =
+  Hashtbl.fold (fun v c acc -> (v, c) :: acc) h.h_buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let series = registered series_tbl (fun name -> { s_name = name; s_samples = [] })
+
+let sample s fields =
+  if !enabled_flag then s.s_samples <- (now_ns (), fields) :: s.s_samples
+
+let samples s = List.rev_map snd s.s_samples
+
+let emit_span ?(cat = "") ?(args = []) name ~t0 =
+  if !enabled_flag then
+    let t1 = now_ns () in
+    events :=
+      { e_name = name; e_cat = cat; e_start = t0; e_dur = Int64.sub t1 t0; e_args = args }
+      :: !events
+
+let with_span ?cat ?args name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+        emit_span ?cat ?args name ~t0;
+        v
+    | exception e ->
+        emit_span ?cat ?args name ~t0;
+        raise e
+  end
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters_tbl;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g_value <- 0.0;
+      g.g_set <- false)
+    gauges_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- max_int;
+      h.h_max <- min_int;
+      Hashtbl.reset h.h_buckets)
+    histograms_tbl;
+  Hashtbl.iter (fun _ s -> s.s_samples <- []) series_tbl;
+  events := [];
+  epoch := now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_names tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let counters () =
+  List.map (fun n -> (n, (Hashtbl.find counters_tbl n).c_count)) (sorted_names counters_tbl)
+
+type span_stat = { st_count : int; st_total : int64 }
+
+let span_stats () =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      let prev =
+        Option.value ~default:{ st_count = 0; st_total = 0L } (Hashtbl.find_opt tbl e.e_name)
+      in
+      Hashtbl.replace tbl e.e_name
+        { st_count = prev.st_count + 1; st_total = Int64.add prev.st_total e.e_dur })
+    !events;
+  Hashtbl.fold (fun name st acc -> (name, st) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b.st_total a.st_total)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_json h =
+  let mean = if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count in
+  Json.Assoc
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Int h.h_sum);
+      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
+      ("max", Json.Int (if h.h_count = 0 then 0 else h.h_max));
+      ("mean", Json.Float mean);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (v, c) -> Json.List [ Json.Int v; Json.Int c ])
+             (histogram_buckets h)) );
+    ]
+
+let metrics_json () =
+  let counters_json =
+    Json.Assoc (List.map (fun (n, c) -> (n, Json.Int c)) (counters ()))
+  in
+  let gauges_json =
+    Json.Assoc
+      (List.filter_map
+         (fun n ->
+           let g = Hashtbl.find gauges_tbl n in
+           if g.g_set then Some (n, Json.Float g.g_value) else None)
+         (sorted_names gauges_tbl))
+  in
+  let histograms_json =
+    Json.Assoc
+      (List.map
+         (fun n -> (n, histogram_json (Hashtbl.find histograms_tbl n)))
+         (sorted_names histograms_tbl))
+  in
+  let series_json =
+    Json.Assoc
+      (List.map
+         (fun n ->
+           let s = Hashtbl.find series_tbl n in
+           ( n,
+             Json.List
+               (List.map
+                  (fun fields ->
+                    Json.Assoc (List.map (fun (k, v) -> (k, Json.Float v)) fields))
+                  (samples s)) ))
+         (sorted_names series_tbl))
+  in
+  let spans_json =
+    Json.Assoc
+      (List.map
+         (fun (name, st) ->
+           ( name,
+             Json.Assoc
+               [
+                 ("count", Json.Int st.st_count);
+                 ("total_ns", Json.Int (Int64.to_int st.st_total));
+                 ( "mean_ns",
+                   Json.Float
+                     (if st.st_count = 0 then 0.0
+                      else Int64.to_float st.st_total /. float_of_int st.st_count) );
+               ] ))
+         (span_stats ()))
+  in
+  Json.Assoc
+    [
+      ("counters", counters_json);
+      ("gauges", gauges_json);
+      ("histograms", histograms_json);
+      ("series", series_json);
+      ("spans", spans_json);
+    ]
+
+let us_since_epoch ts = Int64.to_float (Int64.sub ts !epoch) /. 1_000.0
+
+let chrome_trace_json () =
+  let common name cat ts =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String (if cat = "" then "default" else cat));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("ts", Json.Float (us_since_epoch ts));
+    ]
+  in
+  let complete_events =
+    List.rev_map
+      (fun e ->
+        Json.Assoc
+          (common e.e_name e.e_cat e.e_start
+          @ [
+              ("ph", Json.String "X");
+              ("dur", Json.Float (Int64.to_float e.e_dur /. 1_000.0));
+            ]
+          @ if e.e_args = [] then [] else [ ("args", Json.Assoc e.e_args) ]))
+      !events
+  in
+  let counter_events =
+    List.concat_map
+      (fun n ->
+        let s = Hashtbl.find series_tbl n in
+        List.rev_map
+          (fun (ts, fields) ->
+            Json.Assoc
+              (common s.s_name "series" ts
+              @ [
+                  ("ph", Json.String "C");
+                  ( "args",
+                    Json.Assoc (List.map (fun (k, v) -> (k, Json.Float v)) fields) );
+                ]))
+          s.s_samples)
+      (sorted_names series_tbl)
+  in
+  let metadata =
+    Json.Assoc
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Assoc [ ("name", Json.String "migsyn") ]);
+      ]
+  in
+  Json.Assoc
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ("traceEvents", Json.List ((metadata :: complete_events) @ counter_events));
+    ]
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true json);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Human report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report ppf () =
+  let ms i64 = Int64.to_float i64 /. 1.0e6 in
+  let spans = span_stats () in
+  if spans <> [] then begin
+    Format.fprintf ppf "@[<v>timed spans (by total wall time):@,";
+    List.iter
+      (fun (name, st) ->
+        Format.fprintf ppf "  %-44s %4d call%s  %9.2f ms total  %9.3f ms/call@," name
+          st.st_count
+          (if st.st_count = 1 then " " else "s")
+          (ms st.st_total)
+          (ms st.st_total /. float_of_int st.st_count))
+      spans;
+    Format.fprintf ppf "@]"
+  end;
+  let nonzero = List.filter (fun (_, c) -> c <> 0) (counters ()) in
+  if nonzero <> [] then begin
+    Format.fprintf ppf "@[<v>counters:@,";
+    List.iter (fun (n, c) -> Format.fprintf ppf "  %-44s %10d@," n c) nonzero;
+    Format.fprintf ppf "@]"
+  end;
+  let set_gauges =
+    List.filter_map
+      (fun n ->
+        let g = Hashtbl.find gauges_tbl n in
+        if g.g_set then Some (n, g.g_value) else None)
+      (sorted_names gauges_tbl)
+  in
+  if set_gauges <> [] then begin
+    Format.fprintf ppf "@[<v>gauges:@,";
+    List.iter (fun (n, v) -> Format.fprintf ppf "  %-44s %10.1f@," n v) set_gauges;
+    Format.fprintf ppf "@]"
+  end;
+  let live_hists =
+    List.filter
+      (fun n -> (Hashtbl.find histograms_tbl n).h_count > 0)
+      (sorted_names histograms_tbl)
+  in
+  if live_hists <> [] then begin
+    Format.fprintf ppf "@[<v>histograms:@,";
+    List.iter
+      (fun n ->
+        let h = Hashtbl.find histograms_tbl n in
+        Format.fprintf ppf "  %-44s n=%d min=%d max=%d mean=%.2f@," n h.h_count h.h_min
+          h.h_max
+          (float_of_int h.h_sum /. float_of_int h.h_count))
+      live_hists;
+    Format.fprintf ppf "@]"
+  end

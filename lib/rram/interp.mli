@@ -6,6 +6,31 @@
     executed step (used by the [crossbar_trace] example and the differential
     diagnosis of {!Resilient}).
 
+    {2 Trace-callback contract}
+
+    For both {!run} and {!run_on}, [trace idx step states] is invoked once
+    per program step, in program order, {e after} every write of the step
+    has landed:
+
+    - [idx] is the 1-based step index ([1 .. Program.num_steps]);
+    - [step] is the executed step, physically equal to the program's;
+    - [states] holds the {e true} post-step state of every device of the
+      crossbar ([Array.length states = Array.length devices], which can
+      exceed [num_regs] on an oversized crossbar).  States are read with
+      {!Device.observe}: they bypass transient read disturb and reflect
+      stuck-at/wear effects exactly.  This noiseless contract is what the
+      differential replay of {!Resilient.run} relies on — comparing
+      observed traces of an ideal and a faulty crossbar must expose the
+      first diverging {e write}, not a read artifact.
+
+    [test/test_rram.ml] (group [interp-trace]) pins this ordering and these
+    values.
+
+    When observability is enabled ({!Obs.set_enabled}), every run records
+    pulse counters (["rram.interp/pulses.*"]), a micro-ops-per-step
+    parallelism histogram, a writes-per-device histogram, wear gauges and a
+    ["rram.interp/run"] span.
+
     The crossbar is ideal by default.  Passing [model] runs the same program
     on non-ideal devices (probabilistic write failure, transient read
     disturb, finite endurance — see {!Device.model}); [defects] pins
@@ -40,9 +65,9 @@ val run :
   bool array ->
   bool array
 (** [run program inputs] returns one boolean per program output.  The trace
-    callback receives the 1-based step index, the step, and the post-step
-    device states (noiseless {!Device.observe} values).  [stuck] is the
-    legacy boolean spelling of [defects]: the listed cells ignore every pulse
-    and always hold the given value (used by {!Faults}). *)
+    callback follows the contract above (1-based step index, executed step,
+    noiseless post-step {!Device.observe} states).  [stuck] is the legacy
+    boolean spelling of [defects]: the listed cells ignore every pulse and
+    always hold the given value (used by {!Faults}). *)
 
 val run_vectors : Program.t -> bool array list -> bool array list

@@ -1,0 +1,212 @@
+(* The observability layer (lib/obs): JSON round-trips, disabled-mode
+   silence, determinism of the recorded counters/histograms/series across
+   identical seeded workloads, Chrome trace export, and the optimizer
+   trajectory invariant (Alg. 1 never grows the graph). *)
+
+module Json = Obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* A fixed seeded workload touching every instrumented layer            *)
+(* ------------------------------------------------------------------ *)
+
+let run_workload () =
+  let net = Logic.Funcgen.full_adder () in
+  let mig = Core.Mig_of_network.convert net in
+  let optimized = Core.Mig_opt.area ~effort:4 mig in
+  let compiled = Rram.Compile_mig.compile Core.Rram_cost.Maj optimized in
+  let program = compiled.Rram.Compile_mig.program in
+  List.iter
+    (fun v -> ignore (Rram.Interp.run program v))
+    (Rram.Verify.vectors program.Rram.Program.num_inputs)
+
+(* Every test leaves the registry disabled and empty so the other suites
+   (and later tests in this file) start from a clean slate. *)
+let with_obs_enabled f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* JSON printer / parser                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_doc =
+  Json.Assoc
+    [
+      ("null", Json.Null);
+      ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+      ("ints", Json.List [ Json.Int 0; Json.Int (-42); Json.Int 1_000_000_007 ]);
+      ("floats", Json.List [ Json.Float 1.5; Json.Float (-0.25); Json.Float 1e-9 ]);
+      ("escapes", Json.String "a\"b\\c\nd\te\r\x0c\x08 unicode: \xc3\xa9");
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Assoc []);
+      ("nested", Json.Assoc [ ("k", Json.List [ Json.Assoc [ ("x", Json.Int 1) ] ]) ]);
+    ]
+
+let json_tests =
+  [
+    Alcotest.test_case "printer/parser round-trip" `Quick (fun () ->
+        List.iter
+          (fun pretty ->
+            let s = Json.to_string ~pretty sample_doc in
+            Alcotest.(check bool)
+              (Printf.sprintf "round-trip pretty:%b" pretty)
+              true
+              (Json.of_string s = sample_doc))
+          [ true; false ]);
+    Alcotest.test_case "parser accepts standard syntax" `Quick (fun () ->
+        Alcotest.(check bool)
+          "whitespace + \\u escapes" true
+          (Json.of_string " { \"k\" : [ 1 , 2.5 , \"\\u00e9\\n\" , true ] } "
+          = Json.Assoc
+              [
+                ( "k",
+                  Json.List
+                    [ Json.Int 1; Json.Float 2.5; Json.String "\xc3\xa9\n"; Json.Bool true ]
+                );
+              ]));
+    Alcotest.test_case "parse errors are reported" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            match Json.of_string bad with
+            | exception Json.Parse_error _ -> ()
+            | _ -> Alcotest.failf "parser accepted %S" bad)
+          [ "{"; "[1,]"; "nul"; "\"unterminated"; "{} trailing"; "" ]);
+    Alcotest.test_case "non-finite floats print as null" `Quick (fun () ->
+        List.iter
+          (fun f ->
+            Alcotest.(check string) "null" "null" (Json.to_string (Json.Float f)))
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    Alcotest.test_case "accessors" `Quick (fun () ->
+        let j = Json.of_string "{\"a\": [1, 2], \"b\": 3.5}" in
+        Alcotest.(check int) "member+to_list" 2 (List.length (Json.to_list (Json.member "a" j)));
+        Alcotest.(check (float 0.0)) "to_float" 3.5 (Json.to_float (Json.member "b" j));
+        Alcotest.(check bool) "missing member is Null" true (Json.member "zz" j = Json.Null));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The Obs registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let obs_tests =
+  [
+    Alcotest.test_case "disabled mode records nothing" `Quick (fun () ->
+        Obs.reset ();
+        Obs.set_enabled false;
+        run_workload ();
+        ignore (Obs.with_span "test/should-not-record" (fun () -> 42));
+        Alcotest.(check bool)
+          "all counters zero" true
+          (List.for_all (fun (_, n) -> n = 0) (Obs.counters ()));
+        Alcotest.(check int)
+          "write histogram empty" 0
+          (Obs.histogram_count (Obs.histogram "rram.interp/writes_per_device"));
+        Alcotest.(check bool)
+          "trajectory empty" true
+          (Obs.samples (Obs.series "mig.opt/area/trajectory") = []);
+        Alcotest.(check bool)
+          "no spans in metrics" true
+          (Json.member "spans" (Obs.metrics_json ()) = Json.Assoc []));
+    Alcotest.test_case "identical workloads record identical data" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        let snapshot () =
+          ( Obs.counters (),
+            Obs.histogram_buckets (Obs.histogram "rram.interp/writes_per_device"),
+            Obs.histogram_buckets (Obs.histogram "rram.interp/micro_ops_per_step"),
+            Obs.samples (Obs.series "mig.opt/area/trajectory") )
+        in
+        run_workload ();
+        let first = snapshot () in
+        Obs.reset ();
+        run_workload ();
+        Alcotest.(check bool) "snapshots equal" true (snapshot () = first);
+        let counters, writes, widths, traj = first in
+        Alcotest.(check bool)
+          "rule counters moved" true
+          (List.exists (fun (n, c) -> c > 0 && String.length n > 9 && String.sub n 0 9 = "mig.rule/") counters);
+        Alcotest.(check bool) "write histogram populated" true (writes <> []);
+        Alcotest.(check bool) "step-width histogram populated" true (widths <> []);
+        Alcotest.(check bool) "trajectory recorded" true (traj <> []));
+    Alcotest.test_case "chrome trace JSON round-trips" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        run_workload ();
+        let doc = Obs.chrome_trace_json () in
+        let s = Json.to_string ~pretty:true doc in
+        let parsed = Json.of_string s in
+        Alcotest.(check bool) "parses back to the same tree" true (parsed = doc);
+        let events = Json.to_list (Json.member "traceEvents" parsed) in
+        Alcotest.(check bool) "has events" true (events <> []);
+        let phases =
+          List.filter_map
+            (fun e -> match Json.member "ph" e with Json.String p -> Some p | _ -> None)
+            events
+        in
+        Alcotest.(check int) "every event has a phase" (List.length events) (List.length phases);
+        Alcotest.(check bool) "has complete events" true (List.mem "X" phases);
+        Alcotest.(check bool) "has counter events" true (List.mem "C" phases);
+        List.iter
+          (fun e ->
+            if Json.member "ph" e = Json.String "X" then begin
+              (match Json.member "name" e with
+              | Json.String _ -> ()
+              | _ -> Alcotest.fail "X event without a name");
+              if Json.to_float (Json.member "dur" e) < 0.0 then
+                Alcotest.fail "negative duration";
+              if Json.to_float (Json.member "ts" e) < 0.0 then
+                Alcotest.fail "negative timestamp"
+            end)
+          events);
+    Alcotest.test_case "metrics JSON round-trips and is complete" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        run_workload ();
+        let doc = Obs.metrics_json () in
+        let parsed = Json.of_string (Json.to_string ~pretty:true doc) in
+        Alcotest.(check bool) "parses back" true (parsed = doc);
+        List.iter
+          (fun key ->
+            Alcotest.(check bool)
+              (key ^ " present and non-empty") true
+              (match Json.member key parsed with
+              | Json.Assoc l -> l <> []
+              | Json.List l -> l <> []
+              | _ -> false))
+          [ "counters"; "histograms"; "series"; "spans" ]);
+    Alcotest.test_case "area trajectory is monotone non-increasing" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        List.iter
+          (fun net ->
+            Obs.reset ();
+            ignore (Core.Mig_opt.area ~effort:6 (Core.Mig_of_network.convert net));
+            let traj = Obs.samples (Obs.series "mig.opt/area/trajectory") in
+            Alcotest.(check bool) "at least initial + one cycle" true (List.length traj >= 2);
+            let sizes = List.map (fun s -> List.assoc "size" s) traj in
+            let rec non_increasing = function
+              | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+              | _ -> true
+            in
+            Alcotest.(check bool) "sizes never grow" true (non_increasing sizes))
+          [ Logic.Funcgen.clip (); Logic.Funcgen.rd 5 3; Logic.Funcgen.full_adder () ]);
+    Alcotest.test_case "span records on exception" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        (try Obs.with_span "test/raising" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        let spans = Json.member "spans" (Obs.metrics_json ()) in
+        Alcotest.(check bool)
+          "raising span present" true
+          (Json.member "count" (Json.member "test/raising" spans) = Json.Int 1));
+    Alcotest.test_case "reset keeps handles live" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        let c = Obs.counter "test/reset-counter" in
+        Obs.incr ~by:3 c;
+        Alcotest.(check int) "before reset" 3 (Obs.count c);
+        Obs.reset ();
+        Alcotest.(check int) "zeroed in place" 0 (Obs.count c);
+        Obs.incr c;
+        Alcotest.(check int) "still records" 1 (Obs.count c));
+  ]
+
+let () = Alcotest.run "obs" [ ("json", json_tests); ("obs", obs_tests) ]

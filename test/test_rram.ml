@@ -557,6 +557,125 @@ let tmr_tests =
           >= c.Rram.Faults.tmr.Rram.Faults.yield));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Trace-callback contract (see the Interp.mli doc): 1-based indices,  *)
+(* post-step states, noiseless observes, pre-step latching visible     *)
+(* ------------------------------------------------------------------ *)
+
+let interp_trace_tests =
+  let open Alcotest in
+  let collect ?model program inputs =
+    let acc = ref [] in
+    ignore
+      (Rram.Interp.run ?model
+         ~trace:(fun idx step states -> acc := (idx, step, Array.copy states) :: !acc)
+         program inputs);
+    List.rev !acc
+  in
+  [
+    test_case "exact ordering and post-step values" `Quick (fun () ->
+        (* Step 2 pairs [Reset 0] with an IMP reading register 0: the IMP
+           must latch the pre-step value (parallel semantics) while the
+           trace shows the post-step state of both cells. *)
+        let program =
+          {
+            Rram.Program.num_inputs = 1;
+            num_regs = 2;
+            steps =
+              [
+                [ Rram.Isa.Load (0, Rram.Isa.Input 0); Rram.Isa.Load (1, Rram.Isa.Const false) ];
+                [ Rram.Isa.Reset 0; Rram.Isa.Imp { src = 0; dst = 1 } ];
+                [
+                  Rram.Isa.Maj_pulse
+                    { p = Rram.Isa.Input 0; q = Rram.Isa.Reg 1; dst = 0 };
+                ];
+              ];
+            outputs = [| Rram.Isa.Reg 0 |];
+          }
+        in
+        List.iter
+          (fun i ->
+            let entries = collect program [| i |] in
+            check (list int) "1-based step indices" [ 1; 2; 3 ]
+              (List.map (fun (idx, _, _) -> idx) entries);
+            List.iteri
+              (fun k (_, step, _) ->
+                check bool
+                  (Printf.sprintf "step %d is the program's" (k + 1))
+                  true
+                  (step == List.nth program.Rram.Program.steps k))
+              entries;
+            (* after step 1: [|i; false|]; after step 2 (Reset 0 in
+               parallel with dst1 <- ¬i ∨ false): [|false; ¬i|]; after
+               step 3 (dst0 <- M(i, ¬(¬i), false) = i): [|i; ¬i|] *)
+            let expect =
+              [ [| i; false |]; [| false; not i |]; [| i; not i |] ]
+            in
+            List.iteri
+              (fun k (_, _, states) ->
+                check (array bool)
+                  (Printf.sprintf "i=%b post-step states of step %d" i (k + 1))
+                  (List.nth expect k) states)
+              entries)
+          [ true; false ]);
+    test_case "states are noiseless observes under full read disturb" `Quick (fun () ->
+        (* read_disturb = 1.0 complements every sensed read; the program
+           avoids Reg reads so execution is unaffected, and the trace must
+           show the true stored states (Device.observe), not reads. *)
+        let program =
+          {
+            Rram.Program.num_inputs = 1;
+            num_regs = 2;
+            steps =
+              [
+                [ Rram.Isa.Load (0, Rram.Isa.Input 0); Rram.Isa.Load (1, Rram.Isa.Const true) ];
+                [ Rram.Isa.Reset 1 ];
+                [
+                  Rram.Isa.Maj_pulse
+                    { p = Rram.Isa.Input 0; q = Rram.Isa.Const false; dst = 1 };
+                ];
+              ];
+            outputs = [| Rram.Isa.Input 0 |];
+          }
+        in
+        let model = Rram.Device.model ~read_disturb:1.0 ~seed:0xD157 () in
+        let entries = collect ~model program [| true |] in
+        let expect = [ [| true; true |]; [| true; false |]; [| true; true |] ] in
+        check (list int) "indices" [ 1; 2; 3 ] (List.map (fun (i, _, _) -> i) entries);
+        List.iteri
+          (fun k (_, _, states) ->
+            check (array bool)
+              (Printf.sprintf "noiseless states of step %d" (k + 1))
+              (List.nth expect k) states)
+          entries);
+    test_case "Resilient differential replay sees the defect, not noise" `Quick
+      (fun () ->
+        (* End-to-end guard for the diagnose contract: a stuck cell is found
+           by comparing golden and faulty observe traces. *)
+        let program =
+          {
+            Rram.Program.num_inputs = 1;
+            num_regs = 2;
+            steps =
+              [
+                [ Rram.Isa.Load (0, Rram.Isa.Input 0) ];
+                [ Rram.Isa.Load (1, Rram.Isa.Reg 0) ];
+              ];
+            outputs = [| Rram.Isa.Reg 1 |];
+          }
+        in
+        let env =
+          Rram.Resilient.env_of_defects [ (1, Rram.Device.Stuck_0) ]
+        in
+        let reference v = [| v.(0) |] in
+        let report =
+          Rram.Resilient.run ~max_attempts:2 ~vectors:[ [| true |] ] env program
+            ~reference
+        in
+        check (list int) "diagnosed the stuck cell" [ 1 ] report.Rram.Resilient.diagnosed;
+        check bool "repaired" true report.Rram.Resilient.ok);
+  ]
+
 let () =
   Alcotest.run "rram"
     [
@@ -570,4 +689,5 @@ let () =
       ("placement", placement_tests);
       ("fault-semantics", fault_semantics_tests);
       ("tmr", tmr_tests);
+      ("interp-trace", interp_trace_tests);
     ]
