@@ -30,6 +30,29 @@ let json_path =
   in
   scan (Array.to_list Sys.argv)
 
+(* Custom flows benched side-by-side with the paper's five: named
+   flow-script pipelines built from the same pass registry.  The guarded
+   variant wraps each Alg. 4 cycle in a weighted-(R,S) acceptance test, the
+   flow-level generalization of Alg. 3's move-level criterion. *)
+let custom_flows =
+  [
+    {
+      Exp.Experiments.flow_name = "custom/guarded-steps";
+      script =
+        Printf.sprintf
+          "cycle(%d){accept_if(weighted_maj){push_up; omega_i3; omega_i; push_up}}; \
+           push_up"
+          effort;
+    };
+    {
+      Exp.Experiments.flow_name = "custom/area-then-balance";
+      script =
+        Printf.sprintf
+          "cycle(%d){eliminate; reshape; eliminate}; cycle(%d){balance}; eliminate"
+          effort (max 1 (effort / 4));
+    };
+  ]
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -89,12 +112,19 @@ let () =
   time_algorithm "rram-costs MAJ (Alg. 3)"
     (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj);
   time_algorithm "steps (Alg. 4)" (Core.Mig_opt.steps ~effort);
+  List.iter
+    (fun spec ->
+      time_algorithm
+        (spec.Exp.Experiments.flow_name ^ " (flow script)")
+        (Exp.Experiments.run_flow spec))
+    custom_flows;
 
   (match json_path with
   | None -> ()
   | Some path ->
       section "JSON export (--json)";
-      let rows, dt = wall (fun () -> Exp.Experiments.profile ~effort ()) in
+      let flows = Exp.Experiments.default_flows ~effort () @ custom_flows in
+      let rows, dt = wall (fun () -> Exp.Experiments.profile ~effort ~flows ()) in
       Obs.write_json path (Exp.Experiments.profile_json ~effort ~elapsed_seconds:dt rows);
       Printf.printf "  wrote %s (%d benchmarks, per-algorithm wall times; %.2f s)\n" path
         (List.length rows) dt);

@@ -3,6 +3,7 @@
    Subcommands:
      stats     parse a netlist and print representation statistics
      optimize  run one of the paper's four algorithms, write BLIF out
+     flow      run a user-written flow script (scriptable pass pipelines)
      map       compile to an RRAM program, report costs, verify, dump
      compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
      bench     run the paper's experiment rows for named benchmarks
@@ -189,6 +190,139 @@ let optimize_cmd =
     Term.(
       const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
       $ out_arg)
+
+(* ---------------- flow ---------------- *)
+
+let flow_cmd =
+  let script_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "s"; "script" ] ~docv:"STR"
+          ~doc:
+            "Flow script to run, e.g. \
+             'cycle(40){push_up; psi_r; push_up}; push_up'.")
+  in
+  let file_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Read the flow script from a file ('#' comments allowed).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list-passes" ]
+          ~doc:"List every registered pass and accept_if cost, then exit.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the optimized MIG as BLIF.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip simulator verification.")
+  in
+  let input_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST"
+          ~doc:
+            "Input netlist (.blif, .bench, .pla or .aag); not needed with \
+             --list-passes.")
+  in
+  (* Flow-script problems are user errors, not internal ones: report them as
+     `migsyn flow: error: ...` (with the byte position and a did-you-mean
+     suggestion from the parser) and exit 1, per the CLI error convention. *)
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        prerr_endline ("migsyn flow: error: " ^ msg);
+        exit 1)
+      fmt
+  in
+  let list_passes () =
+    Format.printf "passes (usable in flow scripts; see also 'cycle', 'every', \
+                   'accept_if'):@.";
+    List.iter
+      (fun (p : Core.Mig.t Flow.pass) ->
+        Format.printf "  %-14s %-10s preserves %-20s %s@." p.Flow.name
+          p.Flow.category p.Flow.preserves p.Flow.doc)
+      (Flow.passes Core.Mig_flows.registry);
+    Format.printf "@.accept_if costs (checkpoint/rollback guards):@.";
+    List.iter
+      (fun (name, _) -> Format.printf "  %s@." name)
+      Core.Mig_flows.costs;
+    Format.printf
+      "@.canonical algorithm scripts (what 'migsyn optimize -a NAME' runs):@.";
+    List.iter
+      (fun name ->
+        match Core.Mig_flows.canonical_script name with
+        | Some s -> Format.printf "  %-14s %s@." name s
+        | None -> ())
+      Core.Mig_flows.canonical_names
+  in
+  let run trace metrics script file list dump_out no_verify input =
+    with_obs trace metrics @@ fun () ->
+    if list then list_passes ()
+    else begin
+      let text =
+        match (script, file) with
+        | Some s, None -> s
+        | None, Some f -> (
+            let ic = open_in_bin f in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic)))
+        | Some _, Some _ -> fail "--script and --file are mutually exclusive"
+        | None, None -> fail "one of --script, --file or --list-passes is required"
+      in
+      let flow =
+        match Core.Mig_flows.parse text with
+        | Ok flow -> flow
+        | Error e -> fail "%a" Flow.Script.pp_error e
+      in
+      let path = match input with Some p -> p | None -> fail "missing NETLIST argument" in
+      let net = parse_netlist path in
+      let mig = Core.Mig_of_network.convert net in
+      let before_size, before_depth = Core.Mig_passes.size_and_depth mig in
+      let optimized = Core.Mig_flows.run ~name:"script" flow mig in
+      if not (Core.Mig_equiv.equivalent_network optimized net) then
+        failwith "internal error: the flow changed the function";
+      let size, depth = Core.Mig_passes.size_and_depth optimized in
+      Format.printf "flow: %s@.  MIG: %d -> %d gates, depth %d -> %d@."
+        (Flow.Script.to_string flow) before_size size before_depth depth;
+      List.iter
+        (fun realization ->
+          let r = Rram.Compile_mig.compile realization optimized in
+          let verdict =
+            if no_verify then ""
+            else
+              match Rram.Verify.against_network r.Rram.Compile_mig.program net with
+              | Ok () -> " (verified against the source netlist)"
+              | Error e -> failwith ("verification failed: " ^ e)
+          in
+          Format.printf "  %a: %a, program %d RRAMs %d steps%s@."
+            Core.Rram_cost.pp_realization realization Core.Rram_cost.pp
+            r.Rram.Compile_mig.analytic r.Rram.Compile_mig.measured_rrams
+            r.Rram.Compile_mig.measured_steps verdict)
+        [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ];
+      match dump_out with
+      | None -> ()
+      | Some f ->
+          Io.Blif.write_file ~model_name:"flow" f (Core.Mig_to_network.export optimized);
+          Format.printf "wrote %s@." f
+    end
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Optimize a netlist with a user-written flow script composed from \
+          the registered passes (cycle / every / accept_if combinators); \
+          --list-passes prints the vocabulary.")
+    Term.(
+      const run $ trace_arg $ metrics_arg $ script_arg $ file_arg $ list_arg
+      $ out_arg $ no_verify_arg $ input_opt_arg)
 
 (* ---------------- map ---------------- *)
 
@@ -457,11 +591,29 @@ let profile_cmd =
       & info [ "vectors" ] ~docv:"N"
           ~doc:"Maximum number of input vectors executed on the device simulator.")
   in
-  let run trace metrics path alg effort realization max_vectors =
+  let flow_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flow" ] ~docv:"SCRIPT"
+          ~doc:
+            "Optimize with a flow script instead of the named algorithm \
+             (see $(b,migsyn flow --list-passes)).")
+  in
+  let run trace metrics path alg effort realization max_vectors flow_script =
     (* profile always observes, with or without export flags *)
     Obs.set_enabled true;
     Obs.reset ();
     with_obs trace metrics @@ fun () ->
+    let flow =
+      Option.map
+        (fun text ->
+          match Core.Mig_flows.parse text with
+          | Ok flow -> flow
+          | Error e ->
+              Format.eprintf "migsyn profile: error: %a@." Flow.Script.pp_error e;
+              exit 1)
+        flow_script
+    in
     let net =
       Obs.with_span ~cat:"profile" "profile/parse" (fun () -> parse_netlist path)
     in
@@ -469,7 +621,9 @@ let profile_cmd =
     let initial_size, initial_depth = Core.Mig.size mig, (Core.Mig_levels.compute mig).Core.Mig_levels.depth in
     let optimized =
       Obs.with_span ~cat:"profile" "profile/optimize" (fun () ->
-          Core.Mig_opt.run ~effort alg mig)
+          match flow with
+          | Some flow -> Core.Mig_flows.run ~name:"script" flow mig
+          | None -> Core.Mig_opt.run ~effort alg mig)
     in
     let size, depth =
       (Core.Mig.size optimized, (Core.Mig_levels.compute optimized).Core.Mig_levels.depth)
@@ -496,7 +650,9 @@ let profile_cmd =
     Format.printf
       "profile: %s, %s optimization (effort %d), %a realization@.  MIG: %d -> %d gates, depth %d -> %d@.  program: %d RRAMs, %d steps (analytic %a)@.  executed %d vectors on the device simulator: %s@.@."
       (Filename.basename path)
-      (Core.Mig_opt.algorithm_name alg)
+      (match flow_script with
+      | Some script -> "flow '" ^ script ^ "'"
+      | None -> Core.Mig_opt.algorithm_name alg)
       effort Core.Rram_cost.pp_realization realization initial_size size initial_depth
       depth program.Rram.Program.num_regs
       (Rram.Program.num_steps program)
@@ -514,7 +670,7 @@ let profile_cmd =
           --metrics for machine-readable output.")
     Term.(
       const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
-      $ realization_arg $ vectors_arg)
+      $ realization_arg $ vectors_arg $ flow_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -548,6 +704,7 @@ let subcommands =
   [
     stats_cmd;
     optimize_cmd;
+    flow_cmd;
     map_cmd;
     compare_cmd;
     bench_cmd;

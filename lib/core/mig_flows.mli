@@ -1,0 +1,44 @@
+(** The MIG instantiation of the generic {!Flow} pass manager.
+
+    This module is the single place where the paper's rewrite sweeps are
+    named and registered: every whole-graph pass of {!Mig_passes} (plus the
+    Boolean cut rewriter and a compaction step) becomes a [Flow.pass], the
+    RRAM cost model becomes the table of [accept_if] guard costs, and
+    Algs. 1–4 and the Boolean extension become canonical flow scripts.
+    {!Mig_opt}'s entry points are thin wrappers that parse and run those
+    scripts; [migsyn flow] exposes the same machinery for user-written
+    pipelines. *)
+
+val registry : Mig.t Flow.registry
+(** All registered MIG passes, e.g. [eliminate], [reshape], [push_up],
+    [push_up_nc], [push_up_f2], [psi_r], [omega_i], [omega_i3],
+    [omega_i_w_imp], [omega_i_w_maj], [balance], [cleanup], [cut_rewrite]. *)
+
+val ops : Mig.t Flow.ops
+(** Cleanup/copy via {!Mig.cleanup}; the trajectory measure samples
+    [(size, depth, r_imp, s_imp, r_maj, s_maj)] exactly as {!Mig_opt}
+    always recorded. *)
+
+val costs : (string * (Mig.t -> float)) list
+(** [accept_if] guard costs: [size], [depth], [rrams_imp], [steps_imp],
+    [rrams_maj], [steps_maj], and the scalarized [weighted_imp] /
+    [weighted_maj] of {!Rram_cost.weighted}. *)
+
+val parse : string -> (Mig.t Flow.t, Flow.Script.error) result
+(** Parse a flow script against {!registry} and {!costs}. *)
+
+val parse_exn : string -> Mig.t Flow.t
+(** @raise Invalid_argument with the rendered error on a bad script. *)
+
+val run : ?name:string -> Mig.t Flow.t -> Mig.t -> Mig.t
+(** {!Flow.run} with span prefix ["mig.opt"], so scripted flows share the
+    observability namespace of the paper's algorithms. *)
+
+val canonical_script : ?effort:int -> string -> string option
+(** The flow-script encoding of a named algorithm ([area], [depth],
+    [rram-costs-imp], [rram-costs-maj], [steps], [bool-rewrite]) with the
+    given cycle effort (default {!Flow.default_effort}); [None] for unknown
+    names.  {!Mig_opt.run} executes exactly these scripts. *)
+
+val canonical_names : string list
+(** The algorithm names {!canonical_script} accepts, in Table II order. *)

@@ -1,113 +1,29 @@
-let default_effort = 40
+(* The paper's Algs. 1–4 (and the Boolean extension), as thin wrappers over
+   the Flow pass manager: each entry point parses its canonical flow script
+   (see Mig_flows.canonical_script) and runs it under its legacy
+   observability name.  The convergence loop, per-cycle cleanup, trajectory
+   sampling and span structure all live in the generic Flow engine now. *)
 
-let src = Logs.Src.create "mig.opt" ~doc:"MIG optimization cycle progress"
+let default_effort = Flow.default_effort
 
-module Log = (val Logs.src_log src : Logs.LOG)
+let run_canonical ~name ?effort mig =
+  match Mig_flows.canonical_script ?effort name with
+  | Some script -> Mig_flows.run ~name (Mig_flows.parse_exn script) mig
+  | None -> invalid_arg ("Mig_opt: unknown canonical flow " ^ name)
 
-(* One (size, depth, R, S) trajectory point per optimization cycle: the
-   metrics the paper's Algs. 1–4 are driving down, recorded after the
-   cycle's cleanup so the sample reflects the compacted graph. *)
-let record_trajectory traj cycle mig =
-  if Obs.enabled () then begin
-    let size, depth = Mig_passes.size_and_depth mig in
-    let imp = Rram_cost.of_mig Rram_cost.Imp mig in
-    let maj = Rram_cost.of_mig Rram_cost.Maj mig in
-    Obs.sample traj
-      [
-        ("cycle", float_of_int cycle);
-        ("size", float_of_int size);
-        ("depth", float_of_int depth);
-        ("r_imp", float_of_int imp.Rram_cost.rrams);
-        ("s_imp", float_of_int imp.Rram_cost.steps);
-        ("r_maj", float_of_int maj.Rram_cost.rrams);
-        ("s_maj", float_of_int maj.Rram_cost.steps);
-      ]
-  end
-
-(* Run [cycle] up to [effort] times on compacted copies, stopping early when
-   a cycle reports no change. *)
-let drive ?(effort = default_effort) ~name cycle finish mig =
-  Obs.with_span ~cat:"mig.opt" ("mig.opt/" ^ name) (fun () ->
-      let traj = Obs.series ("mig.opt/" ^ name ^ "/trajectory") in
-      let current = ref (Mig.cleanup mig) in
-      record_trajectory traj 0 !current;
-      let continue_ = ref true in
-      let n = ref 0 in
-      while !continue_ && !n < effort do
-        let changed =
-          Obs.with_span ~cat:"mig.opt" ("mig.opt/" ^ name ^ "/cycle") (fun () ->
-              cycle !n !current)
-        in
-        current := Mig.cleanup !current;
-        record_trajectory traj (!n + 1) !current;
-        Log.debug (fun m ->
-            let size, depth = Mig_passes.size_and_depth !current in
-            m "cycle %d: %d gates, depth %d%s" !n size depth
-              (if changed then "" else " (converged)"));
-        if not changed then continue_ := false;
-        incr n
-      done;
-      ignore (finish !current);
-      Mig.cleanup !current)
-
-let area ?effort mig =
-  drive ?effort ~name:"area"
-    (fun cycle m ->
-      let c1 = Mig_passes.eliminate m in
-      let c2 = Mig_passes.reshape ~seed:(0x5EED + cycle) m in
-      let c3 = Mig_passes.eliminate m in
-      c1 || c2 || c3)
-    Mig_passes.eliminate mig
-
-let depth ?effort mig =
-  (* Conventional depth optimization: no Ω.I in the paper's Alg. 2, so its
-     push-up cannot look through complemented edges. *)
-  let push_up = Mig_passes.push_up ~through_compl:false in
-  drive ?effort ~name:"depth"
-    (fun cycle m ->
-      let c1 = push_up m in
-      (* Ψ.R rebuilds reconvergent cones and rarely converges on its own, so
-         it is throttled to every third cycle to stay within the paper's
-         interactive-runtime envelope. *)
-      let c2 = if cycle mod 3 = 0 then Mig_passes.relevance m else false in
-      let c3 = push_up m in
-      c1 || c2 || c3)
-    push_up mig
+let area ?effort mig = run_canonical ~name:"area" ?effort mig
+let depth ?effort mig = run_canonical ~name:"depth" ?effort mig
 
 let rram_costs ?effort realization mig =
-  let push_up = Mig_passes.push_up ~fanout_limit:2 in
   let name =
-    match realization with Rram_cost.Imp -> "rram-costs-imp" | Rram_cost.Maj -> "rram-costs-maj"
+    match realization with
+    | Rram_cost.Imp -> "rram-costs-imp"
+    | Rram_cost.Maj -> "rram-costs-maj"
   in
-  drive ?effort ~name
-    (fun _ m ->
-      let c1 = push_up m in
-      let c2 = Mig_passes.compl_prop (Mig_passes.Weighted realization) m in
-      let c3 = push_up m in
-      let c4 = Mig_passes.balance m in
-      c1 || c2 || c3 || c4)
-    push_up mig
+  run_canonical ~name ?effort mig
 
-let steps ?effort mig =
-  drive ?effort ~name:"steps"
-    (fun _ m ->
-      let c1 = Mig_passes.push_up m in
-      let c2 = Mig_passes.compl_prop ~min_compl:3 Mig_passes.Always m in
-      let c3 = Mig_passes.compl_prop ~min_compl:2 Mig_passes.Always m in
-      let c4 = Mig_passes.push_up m in
-      c1 || c2 || c3 || c4)
-    Mig_passes.push_up mig
-
-let boolean ?effort mig =
-  (* extension: the paper's area algorithm followed by NPN-cached cut-based
-     Boolean rewriting (Mig_cut_rewrite) and a final algebraic clean-up *)
-  let algebraic = area ?effort mig in
-  let rewritten =
-    Obs.with_span ~cat:"mig.opt" "mig.opt/bool-rewrite/cut-rewrite" (fun () ->
-        Mig_cut_rewrite.rewrite algebraic)
-  in
-  ignore (Mig_passes.eliminate rewritten);
-  Mig.cleanup rewritten
+let steps ?effort mig = run_canonical ~name:"steps" ?effort mig
+let boolean ?effort mig = run_canonical ~name:"bool-rewrite" ?effort mig
 
 type algorithm =
   | Area

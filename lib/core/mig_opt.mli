@@ -1,5 +1,12 @@
 (** The four MIG optimization algorithms of the paper (Algs. 1–4).
 
+    Since the pass-manager refactor these are {e thin wrappers}: each entry
+    point parses its canonical flow script ({!Mig_flows.canonical_script})
+    and runs it on the generic {!Flow} engine, so
+    [migsyn flow --script "cycle(40){eliminate; reshape; eliminate}; eliminate"]
+    reproduces [area] exactly, and user scripts can recombine the same
+    registered passes with cost-guarded acceptance ([accept_if]).
+
     Every optimizer is functional: it copies its input (via
     {!Mig.cleanup}-style compaction between cycles) and returns a new,
     logically equivalent MIG.  [effort] is the cycle count of the outer
@@ -7,10 +14,10 @@
     leaves the graph unchanged.
 
     When observability is on ({!Obs.set_enabled}), every algorithm records a
-    span per cycle (category ["mig.opt"]) and a
-    ["mig.opt/<name>/trajectory"] series with one
-    [(cycle, size, depth, r_imp, s_imp, r_maj, s_maj)] sample for the
-    initial graph and after each cycle's cleanup; the per-rule hit/miss
+    span per cycle (category ["mig.opt"]), one per pass application
+    (["mig.opt/pass/<pass>"]) and a ["mig.opt/<name>/trajectory"] series
+    with one [(cycle, size, depth, r_imp, s_imp, r_maj, s_maj)] sample for
+    the initial graph and after each cycle's cleanup; the per-rule hit/miss
     counters live in {!Mig_passes} (["mig.rule/*"]). *)
 
 val default_effort : int

@@ -265,8 +265,24 @@ let pp_table3_aig ppf rows =
 (* Profiled suite run and JSON export (bench --json)                   *)
 (* ------------------------------------------------------------------ *)
 
+type flow_spec = { flow_name : string; script : string }
+
+let default_flows ?effort () =
+  List.filter_map
+    (fun name ->
+      (* table2's five columns; bool-rewrite is the beyond-paper extra *)
+      if name = "bool-rewrite" then None
+      else
+        Option.map
+          (fun script -> { flow_name = name; script })
+          (Core.Mig_flows.canonical_script ?effort name))
+    Core.Mig_flows.canonical_names
+
+let run_flow spec mig =
+  Core.Mig_flows.run ~name:spec.flow_name (Core.Mig_flows.parse_exn spec.script) mig
+
 type timed_alg = {
-  algorithm : Core.Mig_opt.algorithm;
+  flow : flow_spec;
   size : int;
   depth : int;
   imp : cost;
@@ -283,29 +299,26 @@ type profile_row = {
   algs : timed_alg list;
 }
 
-let profile_algorithms =
-  Core.Mig_opt.
-    [ Area; Depth; Rram_costs Core.Rram_cost.Imp; Rram_costs Core.Rram_cost.Maj; Steps ]
-
-let profile_row ?effort (e : Io.Benchmarks.entry) =
+let profile_row ?effort ?flows (e : Io.Benchmarks.entry) =
+  let flows = match flows with Some fs -> fs | None -> default_flows ?effort () in
   let mig = Core.Mig_of_network.convert (e.Io.Benchmarks.build ()) in
   let initial_size, initial_depth = Core.Mig_passes.size_and_depth mig in
   let algs =
     List.map
-      (fun algorithm ->
+      (fun flow ->
         let t0 = Obs.now_ns () in
-        let optimized = Core.Mig_opt.run ?effort algorithm mig in
+        let optimized = run_flow flow mig in
         let seconds = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
         let size, depth = Core.Mig_passes.size_and_depth optimized in
         {
-          algorithm;
+          flow;
           size;
           depth;
           imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp optimized;
           maj = Core.Rram_cost.of_mig Core.Rram_cost.Maj optimized;
           seconds;
         })
-      profile_algorithms
+      flows
   in
   {
     bench = e.Io.Benchmarks.name;
@@ -316,7 +329,7 @@ let profile_row ?effort (e : Io.Benchmarks.entry) =
     algs;
   }
 
-let profile ?effort () = List.map (profile_row ?effort) Io.Benchmarks.table2
+let profile ?effort ?flows () = List.map (profile_row ?effort ?flows) Io.Benchmarks.table2
 
 let cost_json (c : cost) =
   Obs.Json.Assoc
@@ -329,7 +342,7 @@ let profile_json ~effort ~elapsed_seconds rows =
   let open Obs.Json in
   Assoc
     [
-      ("schema", String "migsyn-bench/1");
+      ("schema", String "migsyn-bench/2");
       ("effort", Int effort);
       ("elapsed_seconds", Float elapsed_seconds);
       ( "benchmarks",
@@ -351,8 +364,8 @@ let profile_json ~effort ~elapsed_seconds rows =
                           (fun (a : timed_alg) ->
                             Assoc
                               [
-                                ( "algorithm",
-                                  String (Core.Mig_opt.algorithm_name a.algorithm) );
+                                ("algorithm", String a.flow.flow_name);
+                                ("script", String a.flow.script);
                                 ("size", Int a.size);
                                 ("depth", Int a.depth);
                                 ("imp", cost_json a.imp);

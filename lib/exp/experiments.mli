@@ -57,10 +57,26 @@ val table3_aig_row : ?effort:int -> Io.Benchmarks.entry -> aig_row
 val table3_aig : ?effort:int -> unit -> aig_row list
 val pp_table3_aig : Format.formatter -> aig_row list -> unit
 
+type flow_spec = {
+  flow_name : string;  (** display/JSON name, e.g. ["area"] or ["custom/x"] *)
+  script : string;  (** the flow-script text; parsed by {!Core.Mig_flows} *)
+}
+(** A named, scriptable optimization pipeline.  The experiment drivers take
+    flows rather than a closed algorithm variant, so custom pipelines are
+    benchable side-by-side with the paper's. *)
+
+val default_flows : ?effort:int -> unit -> flow_spec list
+(** The five paper algorithms (Table II order) as their canonical flow
+    scripts at the given effort. *)
+
+val run_flow : flow_spec -> Core.Mig.t -> Core.Mig.t
+(** Parse and run a flow on a MIG.  @raise Invalid_argument on a script
+    error (the CLI validates scripts before reaching this). *)
+
 type timed_alg = {
-  algorithm : Core.Mig_opt.algorithm;
-  size : int;  (** MIG gate count after the algorithm *)
-  depth : int;  (** MIG depth after the algorithm *)
+  flow : flow_spec;  (** the pipeline this row measured *)
+  size : int;  (** MIG gate count after the flow *)
+  depth : int;  (** MIG depth after the flow *)
   imp : cost;
   maj : cost;
   seconds : float;  (** wall time of this optimization run (monotonic clock) *)
@@ -72,18 +88,21 @@ type profile_row = {
   exact : bool;
   initial_size : int;
   initial_depth : int;
-  algs : timed_alg list;  (** Algs. 1–4 (both Alg. 3 realizations), in order *)
+  algs : timed_alg list;  (** one entry per flow, in the given order *)
 }
 
-val profile_row : ?effort:int -> Io.Benchmarks.entry -> profile_row
-val profile : ?effort:int -> unit -> profile_row list
-(** Per-benchmark before/after shape and per-algorithm wall time over the
+val profile_row : ?effort:int -> ?flows:flow_spec list -> Io.Benchmarks.entry -> profile_row
+val profile : ?effort:int -> ?flows:flow_spec list -> unit -> profile_row list
+(** Per-benchmark before/after shape and per-flow wall time over the
     Table II suite — the machine-readable counterpart of [table2], used by
-    [bench --json]. *)
+    [bench --json].  [flows] defaults to {!default_flows}; extra named
+    custom flows appear as additional rows, distinguishable in the perf
+    trajectory by their recorded name and script. *)
 
 val profile_json : effort:int -> elapsed_seconds:float -> profile_row list -> Obs.Json.t
 (** Serializes [profile] rows as the [BENCH_results.json] document
-    (schema ["migsyn-bench/1"]). *)
+    (schema ["migsyn-bench/2"]); every algorithm row records the flow's
+    name and script string. *)
 
 val verify_entry : ?effort:int -> Io.Benchmarks.entry -> (unit, string) result
 (** End-to-end check for one benchmark: optimize (multi-objective, MAJ),

@@ -1,0 +1,448 @@
+(* The Flow pass manager: generic engine semantics (on a toy graph type),
+   the flow-script parser (positions, suggestions, round-trips), the MIG
+   pass registry (equivalence preservation, structural integrity), and the
+   golden regression pinning the flow-script encodings of Algs. 1-4 to the
+   pre-refactor Mig_opt results. *)
+
+open Logic
+
+(* ------------------------------------------------------------------ *)
+(* Toy graphs: the engine is generic, so its control flow is testable   *)
+(* without MIGs.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type toy = { mutable v : int; mutable trace : string list (* reversed *) }
+
+let toy_ops =
+  {
+    Flow.copy = (fun t -> { v = t.v; trace = t.trace });
+    cleanup = (fun t -> t);
+    measure = (fun _ -> []);
+  }
+
+let toy_pass name run =
+  { Flow.name; category = "toy"; doc = ""; preserves = ""; run }
+
+let log_pass name changed =
+  toy_pass name (fun ~cycle:_ t ->
+      t.trace <- name :: t.trace;
+      (t, changed))
+
+let engine_tests =
+  let open Alcotest in
+  [
+    test_case "seq runs every element (no short-circuit)" `Quick (fun () ->
+        let t = { v = 0; trace = [] } in
+        let flow =
+          Flow.Seq
+            [
+              Pass (log_pass "a" true);
+              Pass (log_pass "b" false);
+              Pass (log_pass "c" true);
+            ]
+        in
+        let _, changed = Flow.changed_run ~ops:toy_ops flow t in
+        check (list string) "order" [ "a"; "b"; "c" ] (List.rev t.trace);
+        check bool "changed" true changed);
+    test_case "cycle stops on convergence" `Quick (fun () ->
+        let t = { v = 0; trace = [] } in
+        let inc =
+          toy_pass "inc" (fun ~cycle:_ t ->
+              t.v <- t.v + 1;
+              (t, t.v < 3))
+        in
+        let r = Flow.run ~ops:toy_ops (Cycle { effort = 10; body = Pass inc }) t in
+        check int "converged after three iterations" 3 r.v);
+    test_case "cycle respects the effort bound" `Quick (fun () ->
+        let t = { v = 0; trace = [] } in
+        let inc =
+          toy_pass "inc" (fun ~cycle:_ t ->
+              t.v <- t.v + 1;
+              (t, true))
+        in
+        let r = Flow.run ~ops:toy_ops (Cycle { effort = 5; body = Pass inc }) t in
+        check int "exactly effort iterations" 5 r.v);
+    test_case "every(3) fires on cycles 0, 3, 6" `Quick (fun () ->
+        let t = { v = 0; trace = [] } in
+        let tick = toy_pass "tick" (fun ~cycle:_ t -> (t, true)) in
+        let record =
+          toy_pass "record" (fun ~cycle t ->
+              t.trace <- string_of_int cycle :: t.trace;
+              (t, false))
+        in
+        let body = Flow.Seq [ Pass tick; Every { period = 3; body = Pass record } ] in
+        ignore (Flow.run ~ops:toy_ops (Cycle { effort = 7; body }) t);
+        check (list string) "fired cycles" [ "0"; "3"; "6" ] (List.rev t.trace));
+    test_case "accept_if rolls back a worsening body" `Quick (fun () ->
+        let t = { v = 5; trace = [] } in
+        let bump =
+          toy_pass "bump" (fun ~cycle:_ t ->
+              t.v <- t.v + 10;
+              (t, true))
+        in
+        let flow =
+          Flow.Accept_if
+            { cost_name = "v"; cost = (fun t -> float_of_int t.v); body = Pass bump }
+        in
+        let r, changed = Flow.changed_run ~ops:toy_ops flow t in
+        check int "rolled back" 5 r.v;
+        check bool "reported unchanged" false changed);
+    test_case "accept_if keeps an improving body" `Quick (fun () ->
+        let t = { v = 5; trace = [] } in
+        let dec =
+          toy_pass "dec" (fun ~cycle:_ t ->
+              t.v <- t.v - 1;
+              (t, true))
+        in
+        let flow =
+          Flow.Accept_if
+            { cost_name = "v"; cost = (fun t -> float_of_int t.v); body = Pass dec }
+        in
+        let r, changed = Flow.changed_run ~ops:toy_ops flow t in
+        check int "kept" 4 r.v;
+        check bool "reported changed" true changed);
+    test_case "run never mutates the input graph" `Quick (fun () ->
+        (* cleanup is a real copy here, like Mig.cleanup *)
+        let copying_ops = { toy_ops with Flow.cleanup = toy_ops.Flow.copy } in
+        let t = { v = 0; trace = [] } in
+        let inc =
+          toy_pass "inc" (fun ~cycle:_ t ->
+              t.v <- t.v + 1;
+              (t, true))
+        in
+        let r = Flow.run ~ops:copying_ops (Cycle { effort = 4; body = Pass inc }) t in
+        check int "input untouched" 0 t.v;
+        check int "result advanced" 4 r.v);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Script parser                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok script =
+  match Core.Mig_flows.parse script with
+  | Ok flow -> flow
+  | Error e -> Alcotest.failf "unexpected parse error %a" Flow.Script.pp_error e
+
+let parse_err script =
+  match Core.Mig_flows.parse script with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" script
+  | Error e -> e
+
+let check_err script ~pos ~msg =
+  let e = parse_err script in
+  Alcotest.(check int) ("position of " ^ script) pos e.Flow.Script.pos;
+  Alcotest.(check string) ("message of " ^ script) msg e.Flow.Script.msg
+
+let parser_tests =
+  let open Alcotest in
+  [
+    test_case "canonical scripts parse and round-trip" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            let script = Option.get (Core.Mig_flows.canonical_script name) in
+            let flow = parse_ok script in
+            check string ("round-trip " ^ name) script (Flow.Script.to_string flow))
+          Core.Mig_flows.canonical_names);
+    test_case "structure of a composite script" `Quick (fun () ->
+        match parse_ok "cycle(3){eliminate; every(2){psi_r}}; accept_if(size){balance}" with
+        | Flow.Seq
+            [
+              Cycle
+                {
+                  effort = 3;
+                  body = Seq [ Pass p1; Every { period = 2; body = Pass p2 } ];
+                };
+              Accept_if { cost_name = "size"; body = Pass p3; _ };
+            ] ->
+            check string "p1" "eliminate" p1.Flow.name;
+            check string "p2" "psi_r" p2.Flow.name;
+            check string "p3" "balance" p3.Flow.name
+        | _ -> fail "unexpected flow structure");
+    test_case "cycle without a count uses the default effort" `Quick (fun () ->
+        (match parse_ok "cycle{eliminate}" with
+        | Flow.Cycle { effort; _ } ->
+            check int "default effort" Flow.default_effort effort
+        | _ -> fail "expected a cycle");
+        match
+          Flow.Script.parse ~registry:Core.Mig_flows.registry
+            ~costs:Core.Mig_flows.costs ~default_effort:7 "cycle{eliminate}"
+        with
+        | Ok (Flow.Cycle { effort; _ }) -> check int "overridden default" 7 effort
+        | _ -> fail "expected a cycle");
+    test_case "comments, newlines and braces group" `Quick (fun () ->
+        match
+          parse_ok "# warm-up\n{ eliminate;\n  reshape }; # tail\n eliminate;"
+        with
+        | Flow.Seq [ Seq [ Pass _; Pass _ ]; Pass _ ] -> ()
+        | _ -> fail "unexpected structure");
+    test_case "unknown pass: position and suggestion" `Quick (fun () ->
+        check_err "cycle(5){pushup}" ~pos:9
+          ~msg:"unknown pass 'pushup' (did you mean 'push_up'?)";
+        check_err "eliminate; funky" ~pos:11 ~msg:"unknown pass 'funky'";
+        check_err "elimnate" ~pos:0
+          ~msg:"unknown pass 'elimnate' (did you mean 'eliminate'?)");
+    test_case "unknown cost: position and suggestion" `Quick (fun () ->
+        check_err "accept_if(sized){eliminate}" ~pos:10
+          ~msg:"unknown cost 'sized' (did you mean 'size'?)");
+    test_case "syntax errors carry byte positions" `Quick (fun () ->
+        check_err "" ~pos:0 ~msg:"empty flow";
+        check_err "cycle(5){eliminate" ~pos:18
+          ~msg:"expected '}' before end of script";
+        check_err "eliminate}" ~pos:9 ~msg:"expected ';' between steps, found '}'";
+        check_err "cycle(0){eliminate}" ~pos:6 ~msg:"cycle count must be positive";
+        check_err "cycle(x){eliminate}" ~pos:6 ~msg:"expected a number of cycles";
+        check_err "eliminate reshape" ~pos:10
+          ~msg:"expected ';' between steps, found 'r'");
+    test_case "the CLI error line format" `Quick (fun () ->
+        let e = parse_err "cycle(5){pushup}" in
+        check string "migsyn flow convention"
+          "migsyn flow: error: at byte 9: unknown pass 'pushup' (did you mean \
+           'push_up'?)"
+          (Format.asprintf "migsyn flow: error: %a" Flow.Script.pp_error e));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry: every pass preserves equivalence and structural integrity  *)
+(* ------------------------------------------------------------------ *)
+
+let funcgen_nets =
+  [|
+    ("full_adder", Funcgen.full_adder ());
+    ("rd53", Funcgen.rd 5 3);
+    ("comparator4", Funcgen.comparator 4);
+    ("parity6", Funcgen.parity 6);
+    ("mux_tree2", Funcgen.mux_tree 2);
+  |]
+
+let arb_seed = QCheck.make QCheck.Gen.(int_bound 1000000)
+
+let registry_props =
+  [
+    QCheck.Test.make ~name:"every registered pass preserves equivalence and integrity"
+      ~count:20 arb_seed (fun seed ->
+        let rng = Prng.create seed in
+        let name, net = Prng.pick rng funcgen_nets in
+        List.for_all
+          (fun (p : Core.Mig.t Flow.pass) ->
+            let mig = ref (Core.Mig_of_network.convert net) in
+            for cycle = 0 to 2 do
+              let m, _changed = p.Flow.run ~cycle !mig in
+              mig := m
+            done;
+            (match Core.Mig_check.check !mig with
+            | Ok () -> ()
+            | Error e ->
+                QCheck.Test.fail_reportf "pass %s broke %s: %s" p.Flow.name name e);
+            Core.Mig_equiv.equivalent_network !mig net
+            || QCheck.Test.fail_reportf "pass %s changed the function of %s"
+                 p.Flow.name name)
+          (Flow.passes Core.Mig_flows.registry));
+  ]
+
+let registry_tests =
+  let open Alcotest in
+  [
+    test_case "pass metadata is complete" `Quick (fun () ->
+        let ps = Flow.passes Core.Mig_flows.registry in
+        check bool "has the paper's vocabulary" true (List.length ps >= 13);
+        List.iter
+          (fun (p : Core.Mig.t Flow.pass) ->
+            check bool (p.Flow.name ^ " has doc") true (p.Flow.doc <> "");
+            check bool (p.Flow.name ^ " has category") true (p.Flow.category <> "");
+            check bool
+              (p.Flow.name ^ " preserves the function")
+              true
+              (String.length p.Flow.preserves >= 8))
+          ps);
+    test_case "duplicate registration is rejected" `Quick (fun () ->
+        let r = Flow.create_registry () in
+        Flow.register r (log_pass "x" true);
+        check_raises "duplicate"
+          (Invalid_argument "Flow.register: duplicate pass x") (fun () ->
+            Flow.register r (log_pass "x" true)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* accept_if on real MIGs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let guard_tests =
+  let open Alcotest in
+  [
+    test_case "accept_if(size) caps growth of push_up" `Quick (fun () ->
+        let net = Funcgen.rd 5 3 in
+        let mig = Core.Mig_of_network.convert net in
+        let initial = Core.Mig.size (Core.Mig.cleanup mig) in
+        let guarded =
+          Core.Mig_flows.run
+            (Core.Mig_flows.parse_exn "cycle(10){accept_if(size){push_up}}")
+            mig
+        in
+        check bool "size never grows past the checkpoint" true
+          (Core.Mig.size guarded <= initial);
+        check bool "still equivalent" true
+          (Core.Mig_equiv.equivalent_network guarded net);
+        (* the guard is not vacuous: unguarded push_up does grow rd53 *)
+        let unguarded =
+          Core.Mig_flows.run (Core.Mig_flows.parse_exn "cycle(10){push_up}") mig
+        in
+        check bool "unguarded comparison run is equivalent too" true
+          (Core.Mig_equiv.equivalent_network unguarded net));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden regression: flow scripts == the pre-refactor Mig_opt results  *)
+(* ------------------------------------------------------------------ *)
+
+(* (size, depth, R_imp, S_imp, R_maj, S_maj) at effort 40, captured from the
+   legacy hardcoded Mig_opt.drive implementation before the pass-manager
+   refactor.  Both the Mig_opt wrappers and the canonical flow scripts must
+   keep reproducing these numbers bit-for-bit. *)
+let golden =
+  [
+    (* c17 *)
+    ("c17/area", (6, 3, 16, 33, 12, 12));
+    ("c17/depth", (8, 3, 21, 34, 15, 13));
+    ("c17/rram-costs-imp", (8, 3, 21, 32, 15, 11));
+    ("c17/rram-costs-maj", (8, 3, 21, 32, 15, 11));
+    ("c17/steps", (8, 3, 21, 32, 15, 11));
+    ("c17/bool-rewrite", (6, 3, 16, 33, 12, 12));
+    (* full_adder *)
+    ("full_adder/area", (7, 4, 18, 42, 12, 14));
+    ("full_adder/depth", (7, 4, 14, 43, 10, 15));
+    ("full_adder/rram-costs-imp", (9, 4, 26, 43, 18, 15));
+    ("full_adder/rram-costs-maj", (9, 4, 26, 43, 18, 15));
+    ("full_adder/steps", (8, 4, 18, 42, 12, 14));
+    ("full_adder/bool-rewrite", (7, 4, 18, 42, 12, 14));
+    (* rd53 *)
+    ("rd53/area", (17, 7, 30, 74, 20, 25));
+    ("rd53/depth", (25, 6, 53, 65, 37, 23));
+    ("rd53/rram-costs-imp", (22, 6, 44, 64, 30, 22));
+    ("rd53/rram-costs-maj", (22, 6, 44, 64, 30, 22));
+    ("rd53/steps", (22, 6, 45, 63, 31, 21));
+    ("rd53/bool-rewrite", (17, 7, 30, 74, 20, 25));
+    (* comparator4 *)
+    ("comparator4/area", (26, 8, 76, 87, 52, 31));
+    ("comparator4/depth", (26, 6, 76, 64, 52, 22));
+    ("comparator4/rram-costs-imp", (27, 6, 76, 64, 52, 22));
+    ("comparator4/rram-costs-maj", (27, 6, 76, 64, 52, 22));
+    ("comparator4/steps", (27, 6, 76, 65, 52, 23));
+    ("comparator4/bool-rewrite", (26, 8, 76, 87, 52, 31));
+  ]
+
+let shape mig =
+  let size, depth = Core.Mig_passes.size_and_depth mig in
+  let i = Core.Rram_cost.of_mig Core.Rram_cost.Imp mig in
+  let m = Core.Rram_cost.of_mig Core.Rram_cost.Maj mig in
+  ( size,
+    depth,
+    i.Core.Rram_cost.rrams,
+    i.Core.Rram_cost.steps,
+    m.Core.Rram_cost.rrams,
+    m.Core.Rram_cost.steps )
+
+let golden_nets () =
+  [
+    ( "c17",
+      let path =
+        if Sys.file_exists "examples/c17.bench" then "examples/c17.bench"
+        else "../examples/c17.bench"
+      in
+      Io.Bench_format.parse_file path );
+    ("full_adder", Funcgen.full_adder ());
+    ("rd53", Funcgen.rd 5 3);
+    ("comparator4", Funcgen.comparator 4);
+  ]
+
+let legacy_entry name =
+  match name with
+  | "area" -> Core.Mig_opt.area ?effort:None
+  | "depth" -> Core.Mig_opt.depth ?effort:None
+  | "rram-costs-imp" -> Core.Mig_opt.rram_costs Core.Rram_cost.Imp
+  | "rram-costs-maj" -> Core.Mig_opt.rram_costs Core.Rram_cost.Maj
+  | "steps" -> Core.Mig_opt.steps ?effort:None
+  | "bool-rewrite" -> Core.Mig_opt.boolean ?effort:None
+  | _ -> assert false
+
+let tuple6 = Alcotest.(pair int (pair int (pair int (pair int (pair int int)))))
+let nest (a, b, c, d, e, f) = (a, (b, (c, (d, (e, f)))))
+
+let golden_tests =
+  let open Alcotest in
+  [
+    test_case "Mig_opt entry points and flow scripts match the legacy results"
+      `Slow
+      (fun () ->
+        List.iter
+          (fun (bench, net) ->
+            let mig = Core.Mig_of_network.convert net in
+            List.iter
+              (fun alg ->
+                let expected = List.assoc (bench ^ "/" ^ alg) golden in
+                check tuple6
+                  (bench ^ "/" ^ alg ^ " via Mig_opt")
+                  (nest expected)
+                  (nest (shape (legacy_entry alg mig)));
+                let script = Option.get (Core.Mig_flows.canonical_script alg) in
+                check tuple6
+                  (bench ^ "/" ^ alg ^ " via flow script")
+                  (nest expected)
+                  (nest (shape (Core.Mig_flows.run (Core.Mig_flows.parse_exn script) mig))))
+              Core.Mig_flows.canonical_names)
+          (golden_nets ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Experiment threading                                                *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_tests =
+  let open Alcotest in
+  [
+    test_case "profile rows record flow name and script" `Quick (fun () ->
+        let entry = Option.get (Io.Benchmarks.find "b9") in
+        let flows =
+          Exp.Experiments.default_flows ~effort:1 ()
+          @ [
+              {
+                Exp.Experiments.flow_name = "custom/tiny";
+                script = "cycle(1){eliminate}; eliminate";
+              };
+            ]
+        in
+        let row = Exp.Experiments.profile_row ~flows entry in
+        check int "one timed entry per flow" 6
+          (List.length row.Exp.Experiments.algs);
+        let json =
+          Exp.Experiments.profile_json ~effort:1 ~elapsed_seconds:0.0 [ row ]
+        in
+        let rec count_scripts = function
+          | Obs.Json.Assoc kvs ->
+              List.fold_left
+                (fun acc (k, v) ->
+                  acc + (if k = "script" then 1 else 0) + count_scripts v)
+                0 kvs
+          | Obs.Json.List vs ->
+              List.fold_left (fun acc v -> acc + count_scripts v) 0 vs
+          | _ -> 0
+        in
+        check int "every algorithm row carries its script" 6 (count_scripts json);
+        match json with
+        | Obs.Json.Assoc kvs ->
+            check bool "schema bumped" true
+              (List.assoc "schema" kvs = Obs.Json.String "migsyn-bench/2")
+        | _ -> fail "profile_json is not an object");
+  ]
+
+let () =
+  Alcotest.run "flow"
+    [
+      ("engine", engine_tests);
+      ("script", parser_tests);
+      ("registry", registry_tests);
+      ("registry-props", List.map QCheck_alcotest.to_alcotest registry_props);
+      ("guards", guard_tests);
+      ("golden", golden_tests);
+      ("experiments", experiment_tests);
+    ]
