@@ -127,7 +127,66 @@ let () =
       let rows, dt = wall (fun () -> Exp.Experiments.profile ~effort ~flows ()) in
       Obs.write_json path (Exp.Experiments.profile_json ~effort ~elapsed_seconds:dt rows);
       Printf.printf "  wrote %s (%d benchmarks, per-algorithm wall times; %.2f s)\n" path
-        (List.length rows) dt);
+        (List.length rows) dt;
+      (* Per-algorithm wall times on the largest bundled and generated
+         circuits: the perf-regression smoke for the incremental analysis
+         core.  The committed BENCH_opt.json is the local baseline; CI
+         regenerates it (at its own EFFORT) and uploads it as an artifact. *)
+      let opt_path = "BENCH_opt.json" in
+      let bundled =
+        List.filter_map
+          (fun name ->
+            Option.map
+              (fun e -> (name, fun () -> Core.Mig_of_network.convert (e.Io.Benchmarks.build ())))
+              (Io.Benchmarks.find name))
+          [ "alu4"; "apex4"; "misex3"; "seq"; "apex6"; "x3" ]
+      in
+      let generated =
+        [
+          ("mult8", fun () -> Core.Mig_of_network.convert (Logic.Funcgen.multiplier 8));
+          ("mult12", fun () -> Core.Mig_of_network.convert (Logic.Funcgen.multiplier 12));
+          ("cla64", fun () -> Core.Mig_of_network.convert (Logic.Funcgen.carry_lookahead_adder 64));
+        ]
+      in
+      let algorithms =
+        [
+          ("area", fun m -> ignore (Core.Mig_opt.area ~effort m));
+          ("depth", fun m -> ignore (Core.Mig_opt.depth ~effort m));
+          ("rram-imp", fun m -> ignore (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Imp m));
+          ("rram-maj", fun m -> ignore (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj m));
+          ("steps", fun m -> ignore (Core.Mig_opt.steps ~effort m));
+        ]
+        @ List.map
+            (fun spec ->
+              (spec.Exp.Experiments.flow_name, fun m -> ignore (Exp.Experiments.run_flow spec m)))
+            custom_flows
+      in
+      let opt_rows =
+        List.concat_map
+          (fun (circuit, build) ->
+            let gates = Core.Mig.size (build ()) in
+            List.map
+              (fun (alg, run) ->
+                let _, dt = wall (fun () -> run (build ())) in
+                Obs.Json.Assoc
+                  [
+                    ("circuit", Obs.Json.String circuit);
+                    ("gates", Obs.Json.Int gates);
+                    ("algorithm", Obs.Json.String alg);
+                    ("seconds", Obs.Json.Float dt);
+                  ])
+              algorithms)
+          (bundled @ generated)
+      in
+      Obs.write_json opt_path
+        (Obs.Json.Assoc
+           [
+             ("schema", Obs.Json.String "migsyn-bench-opt/1");
+             ("effort", Obs.Json.Int effort);
+             ("rows", Obs.Json.List opt_rows);
+           ]);
+      Printf.printf "  wrote %s (%d rows: optimization wall times on the largest circuits)\n"
+        opt_path (List.length opt_rows));
 
   section "Ablations (design-choice studies; see DESIGN.md)";
   let pick name = Option.get (Io.Benchmarks.find name) in

@@ -222,6 +222,15 @@ let flow_cmd =
   let no_verify_arg =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip simulator verification.")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the final size, depth and Table I cost pairs of the \
+             optimized MIG (from the maintained analysis) as one \
+             machine-friendly line.")
+  in
   let input_opt_arg =
     Arg.(
       value
@@ -262,7 +271,7 @@ let flow_cmd =
         | None -> ())
       Core.Mig_flows.canonical_names
   in
-  let run trace metrics script file list dump_out no_verify input =
+  let run trace metrics script file list dump_out no_verify stats input =
     with_obs trace metrics @@ fun () ->
     if list then list_passes ()
     else begin
@@ -307,6 +316,17 @@ let flow_cmd =
             r.Rram.Compile_mig.analytic r.Rram.Compile_mig.measured_rrams
             r.Rram.Compile_mig.measured_steps verdict)
         [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ];
+      if stats then begin
+        (* O(1) reads off the maintained analysis of the result graph *)
+        let an = Core.Mig_analysis.of_mig optimized in
+        let imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp optimized in
+        let maj = Core.Rram_cost.of_mig Core.Rram_cost.Maj optimized in
+        Format.printf
+          "stats: size=%d depth=%d r_imp=%d s_imp=%d r_maj=%d s_maj=%d@."
+          (Core.Mig_analysis.size an) (Core.Mig_analysis.depth an)
+          imp.Core.Rram_cost.rrams imp.Core.Rram_cost.steps
+          maj.Core.Rram_cost.rrams maj.Core.Rram_cost.steps
+      end;
       match dump_out with
       | None -> ()
       | Some f ->
@@ -322,7 +342,7 @@ let flow_cmd =
           --list-passes prints the vocabulary.")
     Term.(
       const run $ trace_arg $ metrics_arg $ script_arg $ file_arg $ list_arg
-      $ out_arg $ no_verify_arg $ input_opt_arg)
+      $ out_arg $ no_verify_arg $ stats_arg $ input_opt_arg)
 
 (* ---------------- map ---------------- *)
 

@@ -13,6 +13,14 @@ type t = {
   mutable pout : signal array;
   mutable npos : int;
   strash : (int * int, int) Hashtbl.t;
+  (* The graph is append-only, so the PO-reachable region only grows and the
+     topological order of already-reached nodes never changes: [order] is a
+     postorder buffer extended at [add_po], [reached] the visited marks, and
+     [nord] doubles as the O(1) live AND count. *)
+  mutable reached : bool array;
+  mutable order : int array;
+  mutable nord : int;
+  mutable dstack : int array;
 }
 
 let const0 = 0
@@ -34,6 +42,10 @@ let create () =
       pout = Array.make 8 0;
       npos = 0;
       strash = Hashtbl.create 997;
+      reached = Array.make 64 false;
+      order = Array.make 64 0;
+      nord = 0;
+      dstack = Array.make 64 0;
     }
   in
   t.nodes.(0) <- dummy;
@@ -79,10 +91,65 @@ let xor_ t a b = or_ t (and_ t a (not_ b)) (and_ t (not_ a) b)
 let mux t s a b = or_ t (and_ t s a) (and_ t (not_ s) b)
 let maj3 t a b c = or_ t (and_ t a b) (or_ t (and_ t a c) (and_ t b c))
 
+let ensure_reached t =
+  if Array.length t.reached < t.n then begin
+    let r = Array.make (max t.n (2 * Array.length t.reached)) false in
+    Array.blit t.reached 0 r 0 (Array.length t.reached);
+    t.reached <- r
+  end
+
+let stack_push t sp v =
+  if sp >= Array.length t.dstack then begin
+    let bigger = Array.make (2 * Array.length t.dstack) 0 in
+    Array.blit t.dstack 0 bigger 0 sp;
+    t.dstack <- bigger
+  end;
+  t.dstack.(sp) <- v
+
+let emit t n =
+  t.order <- grow t.order t.nord 0;
+  t.order.(t.nord) <- n;
+  t.nord <- t.nord + 1
+
+(* Iterative postorder DFS from [n0] extending the maintained order; visits
+   [f0] before [f1], the same emission sequence as a recursive traversal.
+   Stack states pack [node * 4 + next_child_index]. *)
+let reach t n0 =
+  ensure_reached t;
+  if not t.reached.(n0) then begin
+    t.reached.(n0) <- true;
+    match t.nodes.(n0).kind with
+    | Const | Pi _ -> ()
+    | And ->
+        stack_push t 0 (n0 * 4);
+        let sp = ref 1 in
+        while !sp > 0 do
+          let v = t.dstack.(!sp - 1) in
+          let n = v lsr 2 and idx = v land 3 in
+          if idx = 2 then begin
+            decr sp;
+            emit t n
+          end
+          else begin
+            t.dstack.(!sp - 1) <- v + 1;
+            let node = t.nodes.(n) in
+            let m = node_of (if idx = 0 then node.f0 else node.f1) in
+            if not t.reached.(m) then begin
+              t.reached.(m) <- true;
+              if t.nodes.(m).kind = And then begin
+                stack_push t !sp (m * 4);
+                incr sp
+              end
+            end
+          end
+        done
+  end
+
 let add_po t s =
   t.pout <- grow t.pout t.npos 0;
   t.pout.(t.npos) <- s;
   t.npos <- t.npos + 1;
+  reach t (node_of s);
   t.npos - 1
 
 let kind t n = t.nodes.(n).kind
@@ -94,25 +161,10 @@ let po t i = t.pout.(i)
 let pos t = Array.sub t.pout 0 t.npos
 
 let topo_order t =
-  let visited = Array.make t.n false in
-  let order = ref [] in
-  let rec visit n =
-    if not visited.(n) then begin
-      visited.(n) <- true;
-      match t.nodes.(n).kind with
-      | Const | Pi _ -> ()
-      | And ->
-          visit (node_of t.nodes.(n).f0);
-          visit (node_of t.nodes.(n).f1);
-          order := n :: !order
-    end
-  in
-  for i = 0 to t.npos - 1 do
-    visit (node_of t.pout.(i))
-  done;
-  List.rev !order
+  let rec build i acc = if i < 0 then acc else build (i - 1) (t.order.(i) :: acc) in
+  build (t.nord - 1) []
 
-let size t = List.length (topo_order t)
+let size t = t.nord
 
 let levels t =
   let level = Array.make t.n 0 in

@@ -38,10 +38,13 @@ val po : t -> int -> signal
 val pos : t -> signal array
 
 val topo_order : t -> int list
-(** Live AND nodes reachable from the outputs, fanins first. *)
+(** Live AND nodes reachable from the outputs, fanins first.  Maintained
+    incrementally (the graph is append-only, so the reachable region only
+    grows at {!add_po}); each call materializes the list in O(size) with an
+    iterative, stack-safe traversal underneath. *)
 
 val size : t -> int
-(** Live AND-node count. *)
+(** Live AND-node count, O(1). *)
 
 val levels : t -> int array * int
 (** Per-node levels and the depth over outputs. *)

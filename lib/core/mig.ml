@@ -4,9 +4,27 @@ type kind = Const | Pi of int | Gate
 type node = {
   mutable kind : kind;
   mutable fanin : signal array;
-  mutable fanout : int list;
+  (* Counted fanout: the first [nfo] entries of [fanout] are the users, in
+     insertion order (oldest first).  The public view (!fanout) presents them
+     newest-first to preserve the historical cons-list order that
+     level-balancing heuristics iterate. *)
+  mutable fanout : int array;
+  mutable nfo : int;
   mutable dead : bool;
 }
+
+(* Mutation events, emitted after the graph is consistent again so a
+   listener can read the post-state (fanins, fanouts, outputs).  [Refanin]
+   hands over the pre-rewrite fanin array (ownership transferred: the node
+   now holds a fresh array). *)
+type event =
+  | Gate_added of int
+  | Gate_killed of int
+  | Refanin of { node : int; old_fanins : signal array }
+  | Po_added of int
+  | Po_redirected of { index : int; old_po : signal }
+
+type attachment = ..
 
 type t = {
   mutable nodes : node array;
@@ -16,6 +34,16 @@ type t = {
   mutable pout : signal array;
   mutable npos : int;
   strash : (int * int * int, int) Hashtbl.t;
+  mutable porefs : int array;
+  mutable ngates : int;
+  mutable listener : (event -> unit) option;
+  mutable attachment : attachment option;
+  (* Reusable DFS scratch: epoch-marked visited array plus an explicit stack
+     of packed [node * 4 + next_fanin_index] states, so traversals allocate
+     nothing steady-state and never overflow the OCaml stack. *)
+  mutable mark : int array;
+  mutable epoch : int;
+  mutable dfs_stack : int array;
 }
 
 let const0 = 0
@@ -25,7 +53,7 @@ let node_of s = s lsr 1
 let is_compl s = s land 1 = 1
 let signal_of n c = (n lsl 1) lor if c then 1 else 0
 
-let fresh_node kind = { kind; fanin = [||]; fanout = []; dead = false }
+let fresh_node kind = { kind; fanin = [||]; fanout = [||]; nfo = 0; dead = false }
 
 let create () =
   let t =
@@ -37,12 +65,24 @@ let create () =
       pout = Array.make 8 0;
       npos = 0;
       strash = Hashtbl.create 997;
+      porefs = Array.make 64 0;
+      ngates = 0;
+      listener = None;
+      attachment = None;
+      mark = Array.make 64 0;
+      epoch = 0;
+      dfs_stack = Array.make 64 0;
     }
   in
   (* node 0 is the constant-false node *)
   t.nodes.(0) <- fresh_node Const;
   t.n <- 1;
   t
+
+let[@inline] emit t e = match t.listener with None -> () | Some f -> f e
+let on_event t f = t.listener <- f
+let attachment t = t.attachment
+let set_attachment t a = t.attachment <- a
 
 let grow arr n default =
   if n >= Array.length arr then begin
@@ -54,7 +94,9 @@ let grow arr n default =
 
 let push_node t node =
   t.nodes <- grow t.nodes t.n (fresh_node Const);
+  t.porefs <- grow t.porefs t.n 0;
   t.nodes.(t.n) <- node;
+  t.porefs.(t.n) <- 0;
   t.n <- t.n + 1;
   t.n - 1
 
@@ -82,14 +124,30 @@ let simplify3 a b c =
   else if b lxor c = 1 then Some a
   else None
 
-let add_fanout t n f = t.nodes.(n).fanout <- f :: t.nodes.(n).fanout
+let add_fanout t n f =
+  let node = t.nodes.(n) in
+  if node.nfo >= Array.length node.fanout then begin
+    let bigger = Array.make (max 4 (2 * Array.length node.fanout)) 0 in
+    Array.blit node.fanout 0 bigger 0 node.nfo;
+    node.fanout <- bigger
+  end;
+  node.fanout.(node.nfo) <- f;
+  node.nfo <- node.nfo + 1
 
+(* A gate's three fanins are distinct nodes (the sorted triple survived Ω.M),
+   so a user appears at most once; removal is an order-preserving shift. *)
 let remove_fanout t n f =
-  let rec drop = function
-    | [] -> []
-    | x :: rest -> if x = f then rest else x :: drop rest
-  in
-  t.nodes.(n).fanout <- drop t.nodes.(n).fanout
+  let node = t.nodes.(n) in
+  let i = ref 0 in
+  while !i < node.nfo && node.fanout.(!i) <> f do
+    incr i
+  done;
+  if !i < node.nfo then begin
+    for j = !i to node.nfo - 2 do
+      node.fanout.(j) <- node.fanout.(j + 1)
+    done;
+    node.nfo <- node.nfo - 1
+  end
 
 let lookup t a b c =
   let a, b, c = sort3 a b c in
@@ -121,6 +179,8 @@ let maj t a b c =
           add_fanout t (node_of a) id;
           add_fanout t (node_of b) id;
           add_fanout t (node_of c) id;
+          t.ngates <- t.ngates + 1;
+          emit t (Gate_added id);
           signal_of id false)
 
 let and_ t a b = maj t a b const0
@@ -140,27 +200,57 @@ let add_po t s =
   t.pout <- grow t.pout t.npos 0;
   t.pout.(t.npos) <- s;
   t.npos <- t.npos + 1;
-  t.npos - 1
+  t.porefs.(node_of s) <- t.porefs.(node_of s) + 1;
+  let i = t.npos - 1 in
+  emit t (Po_added i);
+  i
 
 let kind t n = t.nodes.(n).kind
 let num_pis t = t.npis
 let num_pos t = t.npos
 let num_nodes t = t.n
+let num_gates t = t.ngates
 let pi t i = signal_of t.pis.(i) false
 let po t i = t.pout.(i)
-let set_po t i s = t.pout.(i) <- s
+
+let set_po t i s =
+  let old = t.pout.(i) in
+  if old <> s then begin
+    t.pout.(i) <- s;
+    t.porefs.(node_of old) <- t.porefs.(node_of old) - 1;
+    t.porefs.(node_of s) <- t.porefs.(node_of s) + 1;
+    emit t (Po_redirected { index = i; old_po = old })
+  end
+
 let pos t = Array.sub t.pout 0 t.npos
 let fanins t n = t.nodes.(n).fanin
-let fanout t n = List.filter (fun f -> not t.nodes.(f).dead) t.nodes.(n).fanout
-let fanout_size t n = List.length (fanout t n)
-let is_dead t n = t.nodes.(n).dead
 
-let po_refs t n =
+let fanout t n =
+  let node = t.nodes.(n) in
+  let acc = ref [] in
+  for i = 0 to node.nfo - 1 do
+    let f = node.fanout.(i) in
+    if not t.nodes.(f).dead then acc := f :: !acc
+  done;
+  !acc
+
+let fanout_size t n =
+  let node = t.nodes.(n) in
   let count = ref 0 in
-  for i = 0 to t.npos - 1 do
-    if node_of t.pout.(i) = n then incr count
+  for i = 0 to node.nfo - 1 do
+    if not t.nodes.(node.fanout.(i)).dead then incr count
   done;
   !count
+
+let fanout_iter t n f =
+  let node = t.nodes.(n) in
+  for i = 0 to node.nfo - 1 do
+    let g = node.fanout.(i) in
+    if not t.nodes.(g).dead then f g
+  done
+
+let is_dead t n = t.nodes.(n).dead
+let po_refs t n = t.porefs.(n)
 
 let strash_key t n =
   let f = t.nodes.(n).fanin in
@@ -174,13 +264,16 @@ let unregister t n =
 (* Kill a gate node: drop its strash entry and detach it from its fanins'
    fanout lists.  The fanout list of [n] itself is the caller's business.
    Inputs and constants are never killed: substituting one merely redirects
-   its users while the node itself stays alive. *)
+   its users while the node itself stays alive.  The [Gate_killed] event
+   fires with the fanin array still intact so listeners can walk it. *)
 let kill t n =
   let node = t.nodes.(n) in
   if node.kind = Gate && not node.dead then begin
     unregister t n;
     Array.iter (fun s -> remove_fanout t (node_of s) n) node.fanin;
-    node.dead <- true
+    node.dead <- true;
+    t.ngates <- t.ngates - 1;
+    emit t (Gate_killed n)
   end
 
 let rec substitute t n s =
@@ -188,12 +281,26 @@ let rec substitute t n s =
   if not node.dead then begin
     assert (node_of s <> n);
     for i = 0 to t.npos - 1 do
-      if node_of t.pout.(i) = n then t.pout.(i) <- s lxor (t.pout.(i) land 1)
+      if node_of t.pout.(i) = n then begin
+        let old = t.pout.(i) in
+        t.pout.(i) <- s lxor (old land 1);
+        t.porefs.(n) <- t.porefs.(n) - 1;
+        let m = node_of t.pout.(i) in
+        t.porefs.(m) <- t.porefs.(m) + 1;
+        emit t (Po_redirected { index = i; old_po = old })
+      end
     done;
     let fos = node.fanout in
-    node.fanout <- [];
+    let nfos = node.nfo in
+    node.fanout <- [||];
+    node.nfo <- 0;
     kill t n;
-    List.iter (fun f -> if not t.nodes.(f).dead then refanin t f n s) fos
+    (* The historical fanout order was a cons list (newest first); iterate
+       the array back-to-front to keep the cascade order bit-identical. *)
+    for i = nfos - 1 downto 0 do
+      let f = fos.(i) in
+      if not t.nodes.(f).dead then refanin t f n s
+    done
   end
 
 (* Rewrite fanout node [f] after its fanin node [n] was replaced by [s]:
@@ -216,30 +323,76 @@ and refanin t f n s =
           Array.iter
             (fun g -> if node_of g <> n then remove_fanout t (node_of g) f)
             fnode.fanin;
+          let old_fanins = fnode.fanin in
           fnode.fanin <- [| a; b; c |];
           Hashtbl.replace t.strash (a, b, c) f;
-          Array.iter (fun g -> add_fanout t (node_of g) f) fnode.fanin)
+          Array.iter (fun g -> add_fanout t (node_of g) f) fnode.fanin;
+          emit t (Refanin { node = f; old_fanins }))
 
-let topo_order t =
-  let visited = Array.make t.n false in
-  let order = ref [] in
-  let rec visit n =
-    if not visited.(n) then begin
-      visited.(n) <- true;
-      let node = t.nodes.(n) in
-      match node.kind with
-      | Const | Pi _ -> ()
-      | Gate ->
-          Array.iter (fun s -> visit (node_of s)) node.fanin;
-          order := n :: !order
-    end
+(* Iterative post-order DFS from the outputs over the reusable scratch; calls
+   [f] on each reachable live gate, fanins first.  Identical visit order to
+   the recursive formulation (children explored in fanin order, emitted on
+   completion), so consumers relying on the historical order are safe.
+   [rev_fanins] explores fanin 2 before 0 — the order the historical
+   recursive [cleanup] produced via right-to-left argument evaluation, which
+   pins fresh-graph node numbering (and hence signal sort order downstream). *)
+let iter_topo_gen t ~rev_fanins f =
+  if Array.length t.mark < t.n then begin
+    let bigger = Array.make (max t.n (2 * Array.length t.mark)) 0 in
+    Array.blit t.mark 0 bigger 0 (Array.length t.mark);
+    t.mark <- bigger
+  end;
+  t.epoch <- t.epoch + 1;
+  let ep = t.epoch in
+  let mark = t.mark in
+  let sp = ref 0 in
+  let push v =
+    if !sp >= Array.length t.dfs_stack then begin
+      let bigger = Array.make (2 * Array.length t.dfs_stack) 0 in
+      Array.blit t.dfs_stack 0 bigger 0 !sp;
+      t.dfs_stack <- bigger
+    end;
+    t.dfs_stack.(!sp) <- v;
+    incr sp
   in
   for i = 0 to t.npos - 1 do
-    visit (node_of t.pout.(i))
-  done;
-  List.rev !order
+    let root = node_of t.pout.(i) in
+    if mark.(root) <> ep then begin
+      mark.(root) <- ep;
+      (match t.nodes.(root).kind with
+      | Const | Pi _ -> ()
+      | Gate -> push (root * 4));
+      while !sp > 0 do
+        let v = t.dfs_stack.(!sp - 1) in
+        let n = v lsr 2 and idx = v land 3 in
+        if idx = 3 then begin
+          decr sp;
+          f n
+        end
+        else begin
+          t.dfs_stack.(!sp - 1) <- v + 1;
+          let idx = if rev_fanins then 2 - idx else idx in
+          let m = node_of t.nodes.(n).fanin.(idx) in
+          if mark.(m) <> ep then begin
+            mark.(m) <- ep;
+            match t.nodes.(m).kind with Const | Pi _ -> () | Gate -> push (m * 4)
+          end
+        end
+      done
+    end
+  done
 
-let size t = List.length (topo_order t)
+let iter_topo t f = iter_topo_gen t ~rev_fanins:false f
+
+let topo_order t =
+  let acc = ref [] in
+  iter_topo t (fun n -> acc := n :: !acc);
+  List.rev !acc
+
+let size t =
+  let count = ref 0 in
+  iter_topo t (fun _ -> incr count);
+  !count
 
 let foreach_gate t f =
   let order = topo_order t in
@@ -252,22 +405,17 @@ let cleanup t =
   for i = 0 to t.npis - 1 do
     map.(t.pis.(i)) <- node_of (add_pi fresh)
   done;
-  let rec copy n =
-    if map.(n) >= 0 then map.(n)
-    else begin
+  iter_topo_gen t ~rev_fanins:true (fun n ->
       let node = t.nodes.(n) in
-      let f s = signal_of (copy (node_of s)) (is_compl s) in
+      let f s = signal_of map.(node_of s) (is_compl s) in
       let s = maj fresh (f node.fanin.(0)) (f node.fanin.(1)) (f node.fanin.(2)) in
       (* A live gate triple cannot simplify, and strashing in the fresh graph
          only merges identical gates, so the copy is a positive signal. *)
       assert (not (is_compl s));
-      map.(n) <- node_of s;
-      map.(n)
-    end
-  in
+      map.(n) <- node_of s);
   for i = 0 to t.npos - 1 do
     let s = t.pout.(i) in
-    ignore (add_po fresh (signal_of (copy (node_of s)) (is_compl s)))
+    ignore (add_po fresh (signal_of map.(node_of s) (is_compl s)))
   done;
   fresh
 

@@ -65,8 +65,14 @@ val num_pos : t -> int
 val num_nodes : t -> int
 (** Allocated node records, including dead ones (an upper bound on ids). *)
 
+val num_gates : t -> int
+(** O(1) maintained count of live majority gates, including gates no longer
+    reachable from the outputs (e.g. speculative nodes a rewrite rule built
+    and abandoned).  Use {!size} for the reachable count. *)
+
 val size : t -> int
-(** Number of live majority gates reachable from the outputs. *)
+(** Number of live majority gates reachable from the outputs.  Computed by a
+    traversal; {!Mig_analysis.size} maintains the same number in O(1). *)
 
 val pi : t -> int -> signal
 val po : t -> int -> signal
@@ -77,12 +83,17 @@ val fanins : t -> int -> signal array
     constants and inputs. *)
 
 val fanout : t -> int -> int list
-(** Live gate nodes that use this node as a fanin. *)
+(** Live gate nodes that use this node as a fanin, newest first. *)
 
 val fanout_size : t -> int -> int
+
+val fanout_iter : t -> int -> (int -> unit) -> unit
+(** Iterate the live users of a node, oldest first, without allocating.  The
+    callback must not rewrite the graph. *)
+
 val po_refs : t -> int -> int
 (** How many primary outputs are driven (possibly complemented) by the
-    node. *)
+    node.  O(1): maintained alongside the output array. *)
 
 val is_dead : t -> int -> bool
 
@@ -106,8 +117,41 @@ val cleanup : t -> t
 val topo_order : t -> int list
 (** Live gate nodes reachable from the outputs, fanins before fanouts. *)
 
+val iter_topo : t -> (int -> unit) -> unit
+(** Call [f] on every live gate reachable from the outputs, fanins before
+    fanouts — the same order as {!topo_order} without materializing the
+    list.  Iterative over a reusable scratch (stack-safe on deep graphs);
+    the callback must not rewrite the graph (use {!foreach_gate} for that). *)
+
 val foreach_gate : t -> (int -> unit) -> unit
 (** Iterate {!topo_order} (snapshot taken before the first call, so the
     callback may rewrite the graph). *)
+
+(** {1 Mutation events}
+
+    A single listener slot (one load-and-branch when absent) lets an analysis
+    layer such as {!Mig_analysis} track the graph incrementally.  Events fire
+    after the graph is consistent: [Gate_added] once the node is strashed and
+    wired, [Gate_killed] with the dead node's fanin array still readable,
+    [Refanin] with the superseded fanin array (ownership passes to the
+    listener), [Po_redirected]/[Po_added] after the output array is
+    updated. *)
+
+type event =
+  | Gate_added of int
+  | Gate_killed of int
+  | Refanin of { node : int; old_fanins : signal array }
+  | Po_added of int  (** output index *)
+  | Po_redirected of { index : int; old_po : signal }
+
+val on_event : t -> (event -> unit) option -> unit
+(** Install (or clear) the mutation listener.  Last install wins. *)
+
+(** Extension slot for an attached analysis, so higher layers can cache state
+    on the graph without this module depending on them. *)
+type attachment = ..
+
+val attachment : t -> attachment option
+val set_attachment : t -> attachment option -> unit
 
 val pp_stats : Format.formatter -> t -> unit

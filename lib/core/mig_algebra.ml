@@ -1,39 +1,13 @@
+(* Thin view over the incrementally maintained {!Mig_analysis}: levels track
+   every substitution instead of freezing at the first query, so depth-aware
+   rules always compare against the current graph. *)
 module Level_cache = struct
-  type t = { mutable level : int array }
+  type t = Mig_analysis.t
 
-  let make mig = { level = Array.make (max 16 (Mig.num_nodes mig)) (-1) }
-
-  let ensure t n =
-    if n >= Array.length t.level then begin
-      let bigger = Array.make (max (n + 1) (2 * Array.length t.level)) (-1) in
-      Array.blit t.level 0 bigger 0 (Array.length t.level);
-      t.level <- bigger
-    end
-
-  let rec node_level t mig n =
-    ensure t n;
-    if t.level.(n) >= 0 then t.level.(n)
-    else begin
-      let l =
-        match Mig.kind mig n with
-        | Mig.Const | Mig.Pi _ -> 0
-        | Mig.Gate ->
-            let m = ref 0 in
-            Array.iter
-              (fun s -> m := max !m (node_level t mig (Mig.node_of s)))
-              (Mig.fanins mig n);
-            !m + 1
-      in
-      ensure t n;
-      t.level.(n) <- l;
-      l
-    end
-
-  let level t mig s = node_level t mig (Mig.node_of s)
-
-  let invalidate t n =
-    ensure t n;
-    t.level.(n) <- -1
+  let make mig = Mig_analysis.of_mig mig
+  let node_level t _mig n = Mig_analysis.level t n
+  let level t _mig s = Mig_analysis.level t (Mig.node_of s)
+  let invalidate _t _n = ()
 end
 
 let is_gate mig s = Mig.kind mig (Mig.node_of s) = Mig.Gate
@@ -54,9 +28,12 @@ let uses_at_most mig s k =
    complemented fanin triple.  Rewriting through these "virtual" fanins lets
    the structural rules (Ω.A, Ω.D, Ψ.C) cross complemented edges, which is
    essential on XOR-rich logic. *)
+(* The positive case borrows the node's fanin array: callers only read it,
+   and {!Mig} replaces fanin arrays wholesale on refanin (never writes them
+   in place), so the borrowed array keeps its snapshot contents. *)
 let virtual_fanins mig s =
   let f = Mig.fanins mig (Mig.node_of s) in
-  if Mig.is_compl s then Array.map (fun g -> Mig.not_ g) f else Array.copy f
+  if Mig.is_compl s then Array.map (fun g -> Mig.not_ g) f else f
 
 (* Whether a rule may look through a (possibly complemented) gate edge.
    The conventional algorithms (Algs. 1–2) have no Ω.I in their listings, so
@@ -253,31 +230,44 @@ let try_compl_prop ?(min_compl = 2) mig g =
 (* Ψ.R: M(x,y,z) = M(x, y, z[x ↦ ¬y]). *)
 let try_relevance ?(max_cone = 64) mig cache g =
   let f = Mig.fanins mig g in
-  let attempt (x, y, z) =
-    let zn = Mig.node_of z in
-    if Mig.kind mig zn <> Mig.Gate then false
-    else begin
-      (* Bounded cone of z: gates only, stop at PIs/constants. *)
-      let cone = Hashtbl.create 64 in
-      let too_big = ref false in
+  (* Bounded cone of z: gates only, stop at PIs/constants.  Collection is
+     pure and failed attempts only append speculative (unreferenced) nodes,
+     so the cone is shared between the attempt orderings with the same [z]. *)
+  let cone = Hashtbl.create 64 in
+  let cone_nodes = ref [] in
+  let too_big = ref false in
+  let cone_for = ref (-1) in
+  let collect_cone zn =
+    if !cone_for <> zn then begin
+      Hashtbl.reset cone;
+      cone_nodes := [];
+      too_big := false;
+      cone_for := zn;
       let rec collect n =
         if (not !too_big) && (not (Hashtbl.mem cone n)) && Mig.kind mig n = Mig.Gate
         then begin
           if Hashtbl.length cone >= max_cone then too_big := true
           else begin
             Hashtbl.add cone n ();
+            cone_nodes := n :: !cone_nodes;
             Array.iter (fun s -> collect (Mig.node_of s)) (Mig.fanins mig n)
           end
         end
       in
-      collect zn;
+      collect zn
+    end
+  in
+  let attempt (x, y, z) =
+    let zn = Mig.node_of z in
+    if Mig.kind mig zn <> Mig.Gate then false
+    else begin
+      collect_cone zn;
       let xn = Mig.node_of x in
       let occurs =
         (not !too_big)
-        && Hashtbl.fold
-             (fun n () acc ->
-               acc || Array.exists (fun s -> Mig.node_of s = xn) (Mig.fanins mig n))
-             cone false
+        && List.exists
+             (fun n -> Array.exists (fun s -> Mig.node_of s = xn) (Mig.fanins mig n))
+             !cone_nodes
       in
       if not occurs then false
       else begin

@@ -5,18 +5,22 @@
     implicit in the sorted-fanin normal form of {!Mig}; the majority rule
     (Ω.M) is applied eagerly on node creation and during substitution.
 
-    Level queries go through a {!Level_cache} so that passes do not pay a
-    full recomputation after every accepted rewrite; levels of nodes above a
-    rewritten region may be temporarily stale, which only affects heuristic
-    choices, never correctness. *)
+    Level queries go through a {!Level_cache}, a thin view over the graph's
+    incrementally maintained {!Mig_analysis}: levels are repaired after every
+    substitution through the mutation-event interface, so depth-aware rules
+    always see current levels at amortized O(1) per query. *)
 
 module Level_cache : sig
   type t
 
   val make : Mig.t -> t
+  (** The graph's attached {!Mig_analysis} (created on first use). *)
+
   val node_level : t -> Mig.t -> int -> int
   val level : t -> Mig.t -> Mig.signal -> int
+
   val invalidate : t -> int -> unit
+  (** No-op, kept for compatibility: invalidation is event-driven. *)
 end
 
 val try_distributivity_rl : Mig.t -> int -> bool

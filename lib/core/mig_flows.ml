@@ -97,7 +97,7 @@ let costs =
     float_of_int (f (Rram_cost.of_mig realization mig))
   in
   [
-    ("size", fun mig -> float_of_int (Mig.size mig));
+    ("size", fun mig -> float_of_int (Mig_analysis.size (Mig_analysis.of_mig mig)));
     ("depth", fun mig -> float_of_int (snd (Mig_passes.size_and_depth mig)));
     ("rrams_imp", cost_field Rram_cost.Imp (fun c -> c.Rram_cost.rrams));
     ("steps_imp", cost_field Rram_cost.Imp (fun c -> c.Rram_cost.steps));

@@ -31,7 +31,7 @@ let of_level_assignment mig level =
     (Mig.pos mig);
   { level; depth; gates_per_level; compl_per_level; order }
 
-let compute mig =
+let compute_scratch mig =
   let n = Mig.num_nodes mig in
   let level = Array.make n 0 in
   List.iter
@@ -41,6 +41,15 @@ let compute mig =
       Array.iter (fun s -> m := max !m level.(Mig.node_of s)) fanins;
       level.(g) <- !m + 1)
     (Mig.topo_order mig);
+  of_level_assignment mig level
+
+let compute mig =
+  let a = Mig_analysis.of_mig mig in
+  let n = Mig.num_nodes mig in
+  let level =
+    Array.init n (fun i ->
+        if Mig_analysis.is_counted a i then Mig_analysis.level a i else 0)
+  in
   of_level_assignment mig level
 
 let num_levels_with_compl t =

@@ -24,6 +24,13 @@ type t = {
 }
 
 val compute : Mig.t -> t
+(** Materialize the level structure from the incrementally maintained
+    {!Mig_analysis} of the graph (attaching one on first use).  The topo
+    order and bucket arrays are rebuilt; the levels themselves are not. *)
+
+val compute_scratch : Mig.t -> t
+(** Compute everything from a fresh topological traversal, independent of
+    {!Mig_analysis}.  Reference implementation for tests. *)
 
 val of_level_assignment : Mig.t -> int array -> t
 (** Build the statistics for an explicit gate→level assignment (used by

@@ -88,80 +88,74 @@ let relevance mig =
 type compl_criterion = Always | Weighted of Rram_cost.realization
 
 let compl_prop ?(min_compl = 2) criterion mig =
-  let lv = Mig_levels.compute mig in
-  let cache = Mig_algebra.Level_cache.make mig in
-  let depth = lv.Mig_levels.depth in
-  (* Working copies of the Table I statistics, updated as flips are applied;
-     node levels are invariant under Ω.I so the level cache stays valid. *)
-  let ncomp = Array.copy lv.Mig_levels.compl_per_level in
-  let ngates = lv.Mig_levels.gates_per_level in
-  let gate_count l = if l >= 0 && l < Array.length ngates then ngates.(l) else 0 in
-  let compl_count l = if l >= 0 && l < Array.length ncomp then ncomp.(l) else 0 in
-  let cost_of comp_arr realization =
-    let k_r = Rram_cost.rrams_per_gate realization in
-    let k_s = Rram_cost.steps_per_level realization in
-    let rrams = ref 0 and levels_with = ref 0 in
-    for i = 0 to depth + 1 do
-      let c = if i < Array.length comp_arr then comp_arr.(i) else 0 in
-      rrams := max !rrams ((k_r * gate_count i) + c);
-      if c > 0 then incr levels_with
-    done;
-    { Rram_cost.rrams = !rrams; steps = (k_s * depth) + !levels_with }
-  in
+  (* Table I statistics come from the maintained analysis and track every
+     accepted flip, so each candidate is judged against the current graph
+     rather than a sweep-start snapshot. *)
+  let a = Mig_analysis.of_mig mig in
   let changed = ref false in
   Mig.foreach_gate mig (fun g ->
       if (not (Mig.is_dead mig g)) && Mig_algebra.compl_fanins mig g >= min_compl
       then begin
-        let lg = Mig_algebra.Level_cache.node_level cache mig g in
-        (* Per-level complement deltas caused by flipping g. *)
-        let deltas = Hashtbl.create 7 in
-        let bump l d =
-          Hashtbl.replace deltas l (d + try Hashtbl.find deltas l with Not_found -> 0)
-        in
-        let const_fanins = ref 0 in
-        Array.iter
-          (fun s ->
-            if Mig.node_of s = 0 then incr const_fanins
-            else if Mig.is_compl s then bump lg (-1)
-            else bump lg 1)
-          (Mig.fanins mig g);
-        List.iter
-          (fun h ->
-            let lh = Mig_algebra.Level_cache.node_level cache mig h in
-            Array.iter
-              (fun s ->
-                if Mig.node_of s = g then bump lh (if Mig.is_compl s then -1 else 1))
-              (Mig.fanins mig h))
-          (Mig.fanout mig g);
-        Array.iter
-          (fun s ->
-            if Mig.node_of s = g then
-              bump (depth + 1) (if Mig.is_compl s then -1 else 1))
-          (Mig.pos mig);
         let accept =
           match criterion with
           | Always -> true
           | Weighted realization ->
-              let trial = Array.copy ncomp in
-              Hashtbl.iter
-                (fun l d ->
-                  if l >= 0 && l < Array.length trial then trial.(l) <- trial.(l) + d)
-                deltas;
-              let before = cost_of ncomp realization in
-              let after = cost_of trial realization in
+              let depth = Mig_analysis.depth a in
+              let lg = Mig_analysis.level a g in
+              let compl_at l =
+                if l = depth + 1 then Mig_analysis.po_compl a
+                else Mig_analysis.compl_at_level a l
+              in
+              (* Per-level complement deltas caused by flipping g. *)
+              let deltas = Hashtbl.create 7 in
+              let bump l d =
+                Hashtbl.replace deltas l
+                  (d + try Hashtbl.find deltas l with Not_found -> 0)
+              in
+              Array.iter
+                (fun s ->
+                  if Mig.node_of s <> 0 then
+                    bump lg (if Mig.is_compl s then -1 else 1))
+                (Mig.fanins mig g);
+              List.iter
+                (fun h ->
+                  let lh = Mig_analysis.level a h in
+                  Array.iter
+                    (fun s ->
+                      if Mig.node_of s = g then
+                        bump lh (if Mig.is_compl s then -1 else 1))
+                    (Mig.fanins mig h))
+                (Mig.fanout mig g);
+              Array.iter
+                (fun s ->
+                  if Mig.node_of s = g then
+                    bump (depth + 1) (if Mig.is_compl s then -1 else 1))
+                (Mig.pos mig);
+              let delta_at l =
+                try Hashtbl.find deltas l with Not_found -> 0
+              in
+              let cost_of with_delta =
+                let k_r = Rram_cost.rrams_per_gate realization in
+                let k_s = Rram_cost.steps_per_level realization in
+                let rrams = ref 0 and levels_with = ref 0 in
+                for i = 0 to depth + 1 do
+                  let c = compl_at i + if with_delta then delta_at i else 0 in
+                  let ni = if i <= depth then Mig_analysis.gates_at_level a i else 0 in
+                  rrams := max !rrams ((k_r * ni) + c);
+                  if c > 0 then incr levels_with
+                done;
+                { Rram_cost.rrams = !rrams; steps = (k_s * depth) + !levels_with }
+              in
+              let before = cost_of false in
+              let after = cost_of true in
               Rram_cost.weighted after < Rram_cost.weighted before
               || (after.Rram_cost.steps = before.Rram_cost.steps
                   && after.Rram_cost.rrams <= before.Rram_cost.rrams
-                  && compl_count lg > 0)
+                  && compl_at lg > 0)
         in
         if accept && Mig_algebra.try_compl_prop ~min_compl mig g then begin
           Obs.incr c_omega_i_hit;
-          changed := true;
-          Hashtbl.iter
-            (fun l d ->
-              if l >= 0 && l < Array.length ncomp then
-                ncomp.(l) <- max 0 (ncomp.(l) + d))
-            deltas
+          changed := true
         end
         else Obs.incr c_omega_i_miss
       end);
@@ -178,5 +172,5 @@ let balance mig =
   assoc_changed || elim_changed
 
 let size_and_depth mig =
-  let lv = Mig_levels.compute mig in
-  (List.length lv.Mig_levels.order, lv.Mig_levels.depth)
+  let a = Mig_analysis.of_mig mig in
+  (Mig_analysis.size a, Mig_analysis.depth a)

@@ -17,7 +17,13 @@ let of_levels realization (lv : Mig_levels.t) =
   let steps = (k_s * lv.depth) + Mig_levels.num_levels_with_compl lv in
   { rrams = !rrams; steps }
 
-let of_mig realization mig = of_levels realization (Mig_levels.compute mig)
+let of_mig realization mig =
+  let a = Mig_analysis.of_mig mig in
+  let rrams, steps =
+    Mig_analysis.table1 a ~rrams_per_gate:(rrams_per_gate realization)
+      ~steps_per_level:(steps_per_level realization)
+  in
+  { rrams; steps }
 
 let pareto_better a b =
   a.rrams <= b.rrams && a.steps <= b.steps && (a.rrams < b.rrams || a.steps < b.steps)

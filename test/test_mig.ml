@@ -519,11 +519,142 @@ let integrity_props =
           [ Core.Mig_opt.Area; Core.Mig_opt.Depth; Core.Mig_opt.Steps ]);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Incremental analysis                                                *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_tests =
+  let open Alcotest in
+  [
+    test_case "level cache tracks substitutions (staleness regression)" `Quick
+      (fun () ->
+        (* A chain g1..g3 under the root puts the root at level 4.  The old
+           Level_cache memoized levels at first query and was never
+           invalidated by [substitute], so after collapsing the chain
+           mid-sweep it still reported 4 and depth-gated rules compared
+           against a graph that no longer existed. *)
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig in
+        let c = Core.Mig.add_pi mig and d = Core.Mig.add_pi mig in
+        let g1 = Core.Mig.maj mig a b c in
+        let g2 = Core.Mig.maj mig g1 c d in
+        let g3 = Core.Mig.maj mig g2 a d in
+        let root = Core.Mig.maj mig g3 b d in
+        ignore (Core.Mig.add_po mig root);
+        let cache = Core.Mig_algebra.Level_cache.make mig in
+        let rn = Core.Mig.node_of root in
+        check int "root level before" 4
+          (Core.Mig_algebra.Level_cache.node_level cache mig rn);
+        (* collapse the chain: root becomes M(a,b,d), level 1 *)
+        Core.Mig.substitute mig (Core.Mig.node_of g3) a;
+        check int "root level after substitute" 1
+          (Core.Mig_algebra.Level_cache.node_level cache mig rn);
+        check (pair int int) "size and depth follow" (1, 1)
+          (Core.Mig_passes.size_and_depth mig));
+    test_case "maintained statistics equal from-scratch on a hand graph" `Quick
+      (fun () ->
+        let mig = full_adder_mig () in
+        let an = Core.Mig_analysis.of_mig mig in
+        Core.Mig_analysis.check an;
+        let lv = Core.Mig_levels.compute_scratch mig in
+        check int "size" (List.length lv.Core.Mig_levels.order)
+          (Core.Mig_analysis.size an);
+        check int "depth" lv.Core.Mig_levels.depth (Core.Mig_analysis.depth an));
+  ]
+
+let analysis_props =
+  let nets =
+    [|
+      (fun () -> Funcgen.full_adder ());
+      (fun () -> Funcgen.ripple_adder 4);
+      (fun () -> Funcgen.multiplier 3);
+      (fun () -> Funcgen.rd 5 3);
+      (fun () -> Funcgen.parity 9);
+      (fun () -> Funcgen.mux_tree 3);
+      (fun () -> Funcgen.comparator 4);
+    |]
+  in
+  let barrage mig seed =
+    let rng = Prng.create seed in
+    let cache = Core.Mig_algebra.Level_cache.make mig in
+    for _ = 1 to 3 do
+      Core.Mig.foreach_gate mig (fun g ->
+          if not (Core.Mig.is_dead mig g) then
+            ignore
+              (match Prng.int rng 6 with
+              | 0 -> Core.Mig_algebra.try_distributivity_rl mig g
+              | 1 -> Core.Mig_algebra.try_distributivity_lr mig cache g
+              | 2 -> Core.Mig_algebra.try_associativity ~strict:false mig cache g
+              | 3 -> Core.Mig_algebra.try_compl_assoc mig cache g
+              | 4 -> Core.Mig_algebra.try_compl_prop mig g
+              | _ -> Core.Mig_algebra.try_relevance mig cache g))
+    done
+  in
+  [
+    QCheck.Test.make
+      ~name:"incremental analysis equals from-scratch after rewrite storms"
+      ~count:60
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig =
+          Core.Mig_of_network.convert (nets.(seed mod Array.length nets) ())
+        in
+        let an = Core.Mig_analysis.of_mig mig in
+        barrage mig (seed + 1);
+        (* internal invariants: refcounts, buckets, queue discipline *)
+        Core.Mig_analysis.check an;
+        (* external agreement with the reference implementation *)
+        let lv = Core.Mig_levels.compute_scratch mig in
+        let depth_ok = Core.Mig_analysis.depth an = lv.Core.Mig_levels.depth in
+        let size_ok =
+          Core.Mig_analysis.size an = List.length lv.Core.Mig_levels.order
+        in
+        let levels_ok =
+          List.for_all
+            (fun g -> Core.Mig_analysis.level an g = lv.Core.Mig_levels.level.(g))
+            lv.Core.Mig_levels.order
+        in
+        let buckets_ok =
+          let ok = ref true in
+          Array.iteri
+            (fun l n -> if Core.Mig_analysis.gates_at_level an l <> n then ok := false)
+            lv.Core.Mig_levels.gates_per_level;
+          Array.iteri
+            (fun l c ->
+              let got =
+                if l = lv.Core.Mig_levels.depth + 1 then Core.Mig_analysis.po_compl an
+                else Core.Mig_analysis.compl_at_level an l
+              in
+              if got <> c then ok := false)
+            lv.Core.Mig_levels.compl_per_level;
+          !ok
+        in
+        let costs_ok =
+          List.for_all
+            (fun r ->
+              Core.Rram_cost.of_mig r mig = Core.Rram_cost.of_levels r lv)
+            [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]
+        in
+        depth_ok && size_ok && levels_ok && buckets_ok && costs_ok);
+    QCheck.Test.make ~name:"analysis survives cleanup and re-attaches" ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = mig_of_seed seed in
+        let _ = Core.Mig_analysis.of_mig mig in
+        barrage mig (seed + 1);
+        let compact = Core.Mig.cleanup mig in
+        let an = Core.Mig_analysis.of_mig compact in
+        Core.Mig_analysis.check an;
+        Core.Mig_analysis.size an = Core.Mig.size compact);
+  ]
+
 let () =
   Alcotest.run "mig"
     [
       ("store", store_tests);
       ("levels-cost", level_tests);
+      ("analysis", analysis_tests);
+      ("analysis-props", List.map QCheck_alcotest.to_alcotest analysis_props);
       ("algebra-props", List.map QCheck_alcotest.to_alcotest algebra_props);
       ("pass-props", List.map QCheck_alcotest.to_alcotest pass_props);
       ("optimizer-props", List.map QCheck_alcotest.to_alcotest optimizer_props);
