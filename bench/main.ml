@@ -11,7 +11,11 @@
    EFFORT (env var) overrides the paper's effort = 40.
    --json [FILE] additionally writes a machine-readable per-benchmark
    summary (default FILE: BENCH_results.json); CI uploads it as an
-   artifact. *)
+   artifact.
+   --jobs N fans the per-circuit work of each table over N domains
+   (default 1 — the stable-timing baseline).  Row content is bit-identical
+   to the sequential run except for the wall-time fields; only the
+   elapsed time changes (DESIGN.md §11). *)
 
 open Bechamel
 open Toolkit
@@ -26,6 +30,17 @@ let json_path =
     | [] -> None
     | "--json" :: p :: _ when String.length p > 0 && p.[0] <> '-' -> Some p
     | "--json" :: _ -> Some "BENCH_results.json"
+    | _ :: rest -> scan rest
+  in
+  scan (Array.to_list Sys.argv)
+
+let jobs =
+  let rec scan = function
+    | [] -> 1
+    | "--jobs" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ -> failwith "bench: --jobs expects a positive integer")
     | _ :: rest -> scan rest
   in
   scan (Array.to_list Sys.argv)
@@ -62,36 +77,38 @@ let wall f =
   (r, Unix.gettimeofday () -. t0)
 
 let () =
-  Printf.printf "MIG-based RRAM synthesis — evaluation harness (effort = %d)\n" effort;
+  Printf.printf "MIG-based RRAM synthesis — evaluation harness (effort = %d, jobs = %d)\n"
+    effort jobs;
 
   section "Table I: cost model cross-check";
   Format.printf "%a@." Exp.Experiments.pp_table1_check ();
 
   section "Table II: optimization results (25 benchmarks, 6 columns)";
-  let t2, t2_time = wall (fun () -> Exp.Experiments.table2 ~effort ()) in
+  let t2, t2_time = wall (fun () -> Exp.Experiments.table2 ~effort ~jobs ()) in
   Format.printf "%a@." Exp.Experiments.pp_table2 t2;
   Printf.printf "(Table II computed in %.2f s — all six algorithms over the suite)\n" t2_time;
 
   section "Table III (left): MIG vs the BDD-based flow [11]";
-  let t3b, t3b_time = wall (fun () -> Exp.Experiments.table3_bdd ~effort ()) in
+  let t3b, t3b_time = wall (fun () -> Exp.Experiments.table3_bdd ~effort ~jobs ()) in
   Format.printf "%a@." Exp.Experiments.pp_table3_bdd t3b;
   Printf.printf "(computed in %.2f s)\n" t3b_time;
 
   section "Table III (right): MIG vs the AIG-based flow [12]";
-  let t3a, t3a_time = wall (fun () -> Exp.Experiments.table3_aig ~effort ()) in
+  let t3a, t3a_time = wall (fun () -> Exp.Experiments.table3_aig ~effort ~jobs ()) in
   Format.printf "%a@." Exp.Experiments.pp_table3_aig t3a;
   Printf.printf "(computed in %.2f s)\n" t3a_time;
 
   section "End-to-end verification (device simulator vs source networks)";
-  List.iter
+  Par.map ~jobs
     (fun name ->
       match Io.Benchmarks.find name with
-      | None -> Printf.printf "  %-10s missing!\n" name
+      | None -> Printf.sprintf "  %-10s missing!" name
       | Some e -> (
           match Exp.Experiments.verify_entry e with
-          | Ok () -> Printf.printf "  %-10s all four compiled programs verified\n%!" name
-          | Error msg -> Printf.printf "  %-10s FAILED: %s\n%!" name msg))
-    [ "5xp1"; "alu4"; "b9"; "clip"; "cm150a"; "cordic"; "t481"; "rd53f2"; "9sym_d"; "xor5_d" ];
+          | Ok () -> Printf.sprintf "  %-10s all four compiled programs verified" name
+          | Error msg -> Printf.sprintf "  %-10s FAILED: %s" name msg))
+    [ "5xp1"; "alu4"; "b9"; "clip"; "cm150a"; "cordic"; "t481"; "rd53f2"; "9sym_d"; "xor5_d" ]
+  |> List.iter print_endline;
 
   section "Runtime claim (paper §IV-A: each algorithm < 3 s on the whole suite)";
   let time_algorithm name run =
@@ -124,7 +141,7 @@ let () =
   | Some path ->
       section "JSON export (--json)";
       let flows = Exp.Experiments.default_flows ~effort () @ custom_flows in
-      let rows, dt = wall (fun () -> Exp.Experiments.profile ~effort ~flows ()) in
+      let rows, dt = wall (fun () -> Exp.Experiments.profile ~effort ~flows ~jobs ()) in
       Obs.write_json path (Exp.Experiments.profile_json ~effort ~elapsed_seconds:dt rows);
       Printf.printf "  wrote %s (%d benchmarks, per-algorithm wall times; %.2f s)\n" path
         (List.length rows) dt;
@@ -161,12 +178,20 @@ let () =
               (spec.Exp.Experiments.flow_name, fun m -> ignore (Exp.Experiments.run_flow spec m)))
             custom_flows
       in
-      let opt_rows =
+      (* One pool task per (circuit, algorithm) cell, in the same order the
+         sequential concat_map produced — Par.map keeps that order, so the
+         row list differs from a --jobs 1 run only in the "seconds" field. *)
+      let cells =
         List.concat_map
           (fun (circuit, build) ->
-            let gates = Core.Mig.size (build ()) in
-            List.map
-              (fun (alg, run) ->
+            List.map (fun (alg, run) -> (circuit, build, alg, run)) algorithms)
+          (bundled @ generated)
+      in
+      let opt_rows, opt_dt =
+        wall (fun () ->
+            Par.map ~jobs
+              (fun (circuit, build, alg, run) ->
+                let gates = Core.Mig.size (build ()) in
                 let _, dt = wall (fun () -> run (build ())) in
                 Obs.Json.Assoc
                   [
@@ -175,8 +200,7 @@ let () =
                     ("algorithm", Obs.Json.String alg);
                     ("seconds", Obs.Json.Float dt);
                   ])
-              algorithms)
-          (bundled @ generated)
+              cells)
       in
       Obs.write_json opt_path
         (Obs.Json.Assoc
@@ -185,8 +209,9 @@ let () =
              ("effort", Obs.Json.Int effort);
              ("rows", Obs.Json.List opt_rows);
            ]);
-      Printf.printf "  wrote %s (%d rows: optimization wall times on the largest circuits)\n"
-        opt_path (List.length opt_rows));
+      Printf.printf
+        "  wrote %s (%d rows: optimization wall times on the largest circuits; %.2f s)\n"
+        opt_path (List.length opt_rows) opt_dt);
 
   section "Ablations (design-choice studies; see DESIGN.md)";
   let pick name = Option.get (Io.Benchmarks.find name) in

@@ -128,6 +128,19 @@ let realization_arg =
     & opt realization_conv Core.Rram_cost.Maj
     & info [ "r"; "realization" ] ~docv:"R" ~doc:"RRAM realization: imp or maj.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sections. 0 (the default) picks \
+           automatically: $(b,MIGSYN_JOBS) if set, else the recommended \
+           domain count of this machine. 1 runs sequentially on the \
+           calling domain. Results are identical for every value; only \
+           the wall time changes.")
+
+let resolve_jobs n = Par.resolve_jobs (if n <= 0 then None else Some n)
+
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
@@ -196,11 +209,33 @@ let optimize_cmd =
 let flow_cmd =
   let script_arg =
     Arg.(
-      value & opt (some string) None
+      value & opt_all string []
       & info [ "s"; "script" ] ~docv:"STR"
           ~doc:
             "Flow script to run, e.g. \
-             'cycle(40){push_up; psi_r; push_up}; push_up'.")
+             'cycle(40){push_up; psi_r; push_up}; push_up'. With \
+             $(b,--portfolio) the option may be repeated: each script \
+             becomes one entrant of the race.")
+  in
+  let portfolio_arg =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Race several flows on independent copies of the MIG (one per \
+             worker domain, see $(b,--jobs)) and keep the best result under \
+             $(b,--cost). Entrants are the repeated $(b,--script) values, or \
+             — when none are given — the five canonical paper algorithms at \
+             $(b,--effort). The winner is chosen by lowest cost, ties to the \
+             earliest entrant, so it is identical for every $(b,--jobs).")
+  in
+  let cost_arg =
+    Arg.(
+      value & opt string Core.Mig_flows.default_cost
+      & info [ "cost" ] ~docv:"NAME"
+          ~doc:
+            "Portfolio race cost: one of the accept_if cost names \
+             (see $(b,--list-passes)).")
   in
   let file_arg =
     Arg.(
@@ -271,36 +306,72 @@ let flow_cmd =
         | None -> ())
       Core.Mig_flows.canonical_names
   in
-  let run trace metrics script file list dump_out no_verify stats input =
+  let run trace metrics scripts file list portfolio cost effort jobs dump_out
+      no_verify stats input =
     with_obs trace metrics @@ fun () ->
     if list then list_passes ()
     else begin
-      let text =
-        match (script, file) with
-        | Some s, None -> s
-        | None, Some f -> (
-            let ic = open_in_bin f in
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () -> really_input_string ic (in_channel_length ic)))
-        | Some _, Some _ -> fail "--script and --file are mutually exclusive"
-        | None, None -> fail "one of --script, --file or --list-passes is required"
-      in
-      let flow =
-        match Core.Mig_flows.parse text with
-        | Ok flow -> flow
-        | Error e -> fail "%a" Flow.Script.pp_error e
+      let script_of_file f =
+        let ic = open_in_bin f in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
       in
       let path = match input with Some p -> p | None -> fail "missing NETLIST argument" in
       let net = parse_netlist path in
       let mig = Core.Mig_of_network.convert net in
       let before_size, before_depth = Core.Mig_passes.size_and_depth mig in
-      let optimized = Core.Mig_flows.run ~name:"script" flow mig in
+      let optimized =
+        if portfolio then begin
+          let specs =
+            match (scripts, file) with
+            | [], None -> Core.Mig_flows.default_portfolio ~effort ()
+            | [], Some f -> [ (Filename.basename f, script_of_file f) ]
+            | scripts, None ->
+                List.mapi
+                  (fun i s -> (Printf.sprintf "script%d" (i + 1), s))
+                  scripts
+            | _ :: _, Some _ -> fail "--script and --file are mutually exclusive"
+          in
+          let jobs = resolve_jobs jobs in
+          let winner, outcomes =
+            try Core.Mig_flows.portfolio ~jobs ~cost specs mig
+            with Invalid_argument msg -> fail "%s" msg
+          in
+          Format.printf "portfolio: %d entrants, cost %s, %d worker domain%s@."
+            (List.length specs) cost jobs (if jobs = 1 then "" else "s");
+          List.iter
+            (fun o ->
+              Format.printf "  %-18s cost %10.1f  %6.2f s%s@." o.Flow.o_label
+                o.Flow.o_cost o.Flow.o_seconds
+                (if o.Flow.o_winner then "  <- winner" else ""))
+            outcomes;
+          winner
+        end
+        else begin
+          let text =
+            match (scripts, file) with
+            | [ s ], None -> s
+            | [], Some f -> script_of_file f
+            | _ :: _ :: _, _ -> fail "repeated --script requires --portfolio"
+            | _ :: _, Some _ -> fail "--script and --file are mutually exclusive"
+            | [], None -> fail "one of --script, --file or --list-passes is required"
+          in
+          let flow =
+            match Core.Mig_flows.parse text with
+            | Ok flow -> flow
+            | Error e -> fail "%a" Flow.Script.pp_error e
+          in
+          let result = Core.Mig_flows.run ~name:"script" flow mig in
+          Format.printf "flow: %s@." (Flow.Script.to_string flow);
+          result
+        end
+      in
       if not (Core.Mig_equiv.equivalent_network optimized net) then
         failwith "internal error: the flow changed the function";
       let size, depth = Core.Mig_passes.size_and_depth optimized in
-      Format.printf "flow: %s@.  MIG: %d -> %d gates, depth %d -> %d@."
-        (Flow.Script.to_string flow) before_size size before_depth depth;
+      Format.printf "  MIG: %d -> %d gates, depth %d -> %d@." before_size size
+        before_depth depth;
       List.iter
         (fun realization ->
           let r = Rram.Compile_mig.compile realization optimized in
@@ -338,11 +409,13 @@ let flow_cmd =
     (Cmd.info "flow"
        ~doc:
          "Optimize a netlist with a user-written flow script composed from \
-          the registered passes (cycle / every / accept_if combinators); \
-          --list-passes prints the vocabulary.")
+          the registered passes (cycle / every / accept_if combinators), or \
+          race several scripts with --portfolio; --list-passes prints the \
+          vocabulary.")
     Term.(
       const run $ trace_arg $ metrics_arg $ script_arg $ file_arg $ list_arg
-      $ out_arg $ no_verify_arg $ stats_arg $ input_opt_arg)
+      $ portfolio_arg $ cost_arg $ effort_arg $ jobs_arg $ out_arg
+      $ no_verify_arg $ stats_arg $ input_opt_arg)
 
 (* ---------------- map ---------------- *)
 
@@ -698,7 +771,7 @@ let bench_cmd =
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmark names.")
   in
-  let run trace metrics effort names =
+  let run trace metrics effort jobs names =
     with_obs trace metrics @@ fun () ->
     let entries =
       match names with
@@ -713,12 +786,14 @@ let bench_cmd =
                   None)
             names
     in
-    let rows = List.map (Exp.Experiments.table2_row ~effort) entries in
+    let rows =
+      Par.map ~jobs:(resolve_jobs jobs) (Exp.Experiments.table2_row ~effort) entries
+    in
     Format.printf "%a@." Exp.Experiments.pp_table2 rows
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's Table II flow for named benchmarks")
-    Term.(const run $ trace_arg $ metrics_arg $ effort_arg $ names_arg)
+    Term.(const run $ trace_arg $ metrics_arg $ effort_arg $ jobs_arg $ names_arg)
 
 let subcommands =
   [

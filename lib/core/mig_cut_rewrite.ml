@@ -1,22 +1,35 @@
 open Logic
 
 (* Resynthesis cache: canonical truth-table bits -> minimized SOP.  The SOP
-   is rebuilt per site over the site's (possibly negated) leaf signals. *)
+   is rebuilt per site over the site's (possibly negated) leaf signals.
+   The cache is shared by every domain (a portfolio race or a parallel
+   bench sweep may run cut_rewrite concurrently), so lookups and inserts
+   are mutex-guarded; minimization itself runs outside the lock, and a
+   duplicated miss just recomputes the same idempotent entry. *)
 let sop_cache : (string, Sop.t) Hashtbl.t = Hashtbl.create 997
+let sop_cache_lock = Mutex.create ()
 
 let c_cache_hit = Obs.counter "mig.cut_rewrite/npn_cache.hits"
 and c_cache_miss = Obs.counter "mig.cut_rewrite/npn_cache.misses"
 
 let minimized_sop canonical =
   let key = Truth_table.to_bits canonical in
-  match Hashtbl.find_opt sop_cache key with
+  let cached =
+    Mutex.lock sop_cache_lock;
+    let v = Hashtbl.find_opt sop_cache key in
+    Mutex.unlock sop_cache_lock;
+    v
+  in
+  match cached with
   | Some sop ->
       Obs.incr c_cache_hit;
       sop
   | None ->
       Obs.incr c_cache_miss;
       let sop = Espresso.minimize (Sop.of_truth_table canonical) in
+      Mutex.lock sop_cache_lock;
       Hashtbl.replace sop_cache key sop;
+      Mutex.unlock sop_cache_lock;
       sop
 
 let rec balanced_fold f = function

@@ -92,7 +92,7 @@ let () =
           (rewritten, Mig.size rewritten <> Mig.size mig));
     ]
 
-let costs =
+let costs : (string * (Mig.t -> float)) list =
   let cost_field realization f mig =
     float_of_int (f (Rram_cost.of_mig realization mig))
   in
@@ -133,3 +133,51 @@ let canonical_script ?(effort = Flow.default_effort) name =
   | "steps" -> Some (converge "push_up; omega_i3; omega_i; push_up" "push_up")
   | "bool-rewrite" -> Some (area ^ "; cleanup; cut_rewrite; eliminate")
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let default_cost = "weighted_maj"
+
+let cost_fn name =
+  match List.assoc_opt name costs with
+  | Some f -> f
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Mig_flows.portfolio: unknown cost '%s'%s" name
+           (match Flow.suggest ~candidates:(List.map fst costs) name with
+           | Some s -> Printf.sprintf " (did you mean '%s'?)" s
+           | None -> ""))
+
+let portfolio ?jobs ?(cost = default_cost) specs mig =
+  let cost = cost_fn cost in
+  let entrants =
+    List.map
+      (fun (label, script) -> { Flow.label; flow = parse_exn script })
+      specs
+  in
+  Flow.portfolio ~ops ~span_prefix:"mig.opt" ?jobs ~cost entrants mig
+
+let default_portfolio ?effort () =
+  List.filter_map
+    (fun name ->
+      Option.map (fun script -> (name, script)) (canonical_script ?effort name))
+    [ "area"; "depth"; "rram-costs-imp"; "rram-costs-maj"; "steps" ]
+
+(* The portfolio as an ordinary registered pass, so flow scripts can embed
+   the race (e.g. `portfolio; push_up`).  Effort of the inner canonical
+   scripts is fixed at a moderate 10 to keep nested cycles affordable; the
+   CLI's --portfolio mode races the full-effort scripts instead. *)
+let () =
+  Flow.register registry
+    (pass "portfolio" ~category:"search"
+       ~doc:
+         "race the five canonical algorithm scripts (effort 10) on \
+          separate domains; keep the lowest weighted_maj cost, ties to \
+          the earliest script"
+       (fun ~cycle:_ mig ->
+         let before_size, before_depth = Mig_passes.size_and_depth mig in
+         let winner, _ = portfolio (default_portfolio ~effort:10 ()) mig in
+         let size, depth = Mig_passes.size_and_depth winner in
+         (winner, size <> before_size || depth <> before_depth)))

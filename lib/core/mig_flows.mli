@@ -42,3 +42,33 @@ val canonical_script : ?effort:int -> string -> string option
 
 val canonical_names : string list
 (** The algorithm names {!canonical_script} accepts, in Table II order. *)
+
+(** {1 Portfolio runs}
+
+    The MIG face of [Flow.portfolio]: race several flow {e scripts} over
+    copies of one MIG — on separate domains when the pool has more than one
+    worker — and keep the winner under a deterministic
+    (lowest cost, then lowest script index) tie-break. *)
+
+val default_cost : string
+(** ["weighted_maj"] — the scalarized MAJ-realization (R, S) cost the
+    portfolio race minimizes by default. *)
+
+val portfolio :
+  ?jobs:int ->
+  ?cost:string ->
+  (string * string) list ->
+  Mig.t ->
+  Mig.t * Flow.outcome list
+(** [portfolio specs mig] parses each [(label, script)] spec, races the
+    flows on independent copies of [mig], and returns the winning MIG plus
+    one outcome per spec in spec order.  [cost] names an entry of {!costs}
+    (default {!default_cost}); [jobs] defaults to [Par.recommended_jobs ()].
+    The winner is identical for every [jobs] value.
+
+    @raise Invalid_argument on a bad script or unknown cost name. *)
+
+val default_portfolio : ?effort:int -> unit -> (string * string) list
+(** The five paper algorithms as portfolio specs — the default entrant set
+    of [migsyn flow --portfolio] and of the registered [portfolio] pass
+    (which fixes the inner effort at 10). *)

@@ -53,7 +53,12 @@ let table2_row ?effort (e : Io.Benchmarks.entry) =
     paper = paper_t2 e;
   }
 
-let table2 ?effort () = List.map (table2_row ?effort) Io.Benchmarks.table2
+(* Suite-level fan-out: every [table*]/[profile] driver takes [?jobs] and
+   maps its per-circuit row function over a Par pool.  Par.map collects
+   results by index, so row order — and, the wall-time fields aside, row
+   content — is bit-identical to the sequential run (DESIGN.md §11). *)
+let table2 ?effort ?(jobs = 1) () =
+  Par.map ~jobs (table2_row ?effort) Io.Benchmarks.table2
 
 let pp_cell ppf (measured, paper) = Format.fprintf ppf "%5d/%-5d" measured paper
 
@@ -156,7 +161,8 @@ let table3_bdd_row ?effort ?(bdd_max_nodes = 2_000_000) (e : Io.Benchmarks.entry
     paper = paper_t2 e;
   }
 
-let table3_bdd ?effort () = List.map (table3_bdd_row ?effort) Io.Benchmarks.table2
+let table3_bdd ?effort ?(jobs = 1) () =
+  Par.map ~jobs (table3_bdd_row ?effort) Io.Benchmarks.table2
 
 let pp_table3_bdd ppf rows =
   Format.fprintf ppf
@@ -237,7 +243,8 @@ let table3_aig_row ?effort (e : Io.Benchmarks.entry) =
     paper = paper_t3 e;
   }
 
-let table3_aig ?effort () = List.map (table3_aig_row ?effort) Io.Benchmarks.table3_aig
+let table3_aig ?effort ?(jobs = 1) () =
+  Par.map ~jobs (table3_aig_row ?effort) Io.Benchmarks.table3_aig
 
 let pp_table3_aig ppf rows =
   Format.fprintf ppf
@@ -329,7 +336,8 @@ let profile_row ?effort ?flows (e : Io.Benchmarks.entry) =
     algs;
   }
 
-let profile ?effort ?flows () = List.map (profile_row ?effort ?flows) Io.Benchmarks.table2
+let profile ?effort ?flows ?(jobs = 1) ?(entries = Io.Benchmarks.table2) () =
+  Par.map ~jobs (profile_row ?effort ?flows) entries
 
 let cost_json (c : cost) =
   Obs.Json.Assoc

@@ -25,7 +25,13 @@ type t2_row = {
 }
 
 val table2_row : ?effort:int -> Io.Benchmarks.entry -> t2_row
-val table2 : ?effort:int -> unit -> t2_row list
+
+val table2 : ?effort:int -> ?jobs:int -> unit -> t2_row list
+(** Runs {!table2_row} over the Table II suite.  [jobs] (default [1]) fans
+    the circuits out over a {!Par} work-pool; rows come back in suite order
+    and are bit-identical to the sequential run for any [jobs] (only the
+    scheduling changes — see DESIGN.md §11). *)
+
 val pp_table2 : Format.formatter -> t2_row list -> unit
 (** Prints the Table II reproduction: measured and paper value per cell,
     per-column sums and measured/paper shape summaries. *)
@@ -41,7 +47,10 @@ type bdd_row = {
 }
 
 val table3_bdd_row : ?effort:int -> ?bdd_max_nodes:int -> Io.Benchmarks.entry -> bdd_row
-val table3_bdd : ?effort:int -> unit -> bdd_row list
+
+val table3_bdd : ?effort:int -> ?jobs:int -> unit -> bdd_row list
+(** Suite driver for {!table3_bdd_row}; [jobs] as in {!table2}. *)
+
 val pp_table3_bdd : Format.formatter -> bdd_row list -> unit
 
 type aig_row = {
@@ -54,7 +63,10 @@ type aig_row = {
 }
 
 val table3_aig_row : ?effort:int -> Io.Benchmarks.entry -> aig_row
-val table3_aig : ?effort:int -> unit -> aig_row list
+
+val table3_aig : ?effort:int -> ?jobs:int -> unit -> aig_row list
+(** Suite driver for {!table3_aig_row}; [jobs] as in {!table2}. *)
+
 val pp_table3_aig : Format.formatter -> aig_row list -> unit
 
 type flow_spec = {
@@ -92,12 +104,21 @@ type profile_row = {
 }
 
 val profile_row : ?effort:int -> ?flows:flow_spec list -> Io.Benchmarks.entry -> profile_row
-val profile : ?effort:int -> ?flows:flow_spec list -> unit -> profile_row list
-(** Per-benchmark before/after shape and per-flow wall time over the
-    Table II suite — the machine-readable counterpart of [table2], used by
-    [bench --json].  [flows] defaults to {!default_flows}; extra named
-    custom flows appear as additional rows, distinguishable in the perf
-    trajectory by their recorded name and script. *)
+
+val profile :
+  ?effort:int ->
+  ?flows:flow_spec list ->
+  ?jobs:int ->
+  ?entries:Io.Benchmarks.entry list ->
+  unit ->
+  profile_row list
+(** Per-benchmark before/after shape and per-flow wall time over [entries]
+    (default: the Table II suite) — the machine-readable counterpart of
+    [table2], used by [bench --json].  [flows] defaults to {!default_flows};
+    extra named custom flows appear as additional rows, distinguishable in
+    the perf trajectory by their recorded name and script.  [jobs] (default
+    [1]) fans benchmarks out over a {!Par} pool; rows are identical to the
+    sequential run except for the [seconds] wall-time fields. *)
 
 val profile_json : effort:int -> elapsed_seconds:float -> profile_row list -> Obs.Json.t
 (** Serializes [profile] rows as the [BENCH_results.json] document

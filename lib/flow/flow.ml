@@ -114,6 +114,62 @@ let run ~ops ?span_prefix ?name flow g =
   fst (changed_run ~ops ?span_prefix ?name flow g)
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type 'g entrant = { label : string; flow : 'g t }
+
+type outcome = {
+  o_label : string;
+  o_index : int;
+  o_cost : float;
+  o_seconds : float;
+  o_winner : bool;
+}
+
+let portfolio ~ops ?(span_prefix = "flow") ?jobs ~cost entrants g =
+  if entrants = [] then invalid_arg "Flow.portfolio: empty entrant list";
+  (* Copies are taken on the calling domain, before any worker touches the
+     graph, so tasks never share mutable state. *)
+  let base = ops.cleanup g in
+  let tasks =
+    List.mapi (fun i e -> (i, e.label, e.flow, ops.copy base)) entrants
+  in
+  let raced =
+    Par.map ?jobs
+      (fun (i, label, flow, g) ->
+        let t0 = Obs.now_ns () in
+        let result =
+          run ~ops ~span_prefix ~name:("portfolio/" ^ label) flow g
+        in
+        let seconds = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+        (i, label, result, cost result, seconds))
+      tasks
+  in
+  (* Deterministic tie-break: lowest cost first, then lowest entrant index —
+     independent of completion order, hence of the worker count. *)
+  let winner_index, _ =
+    List.fold_left
+      (fun (wi, wc) (i, _, _, c, _) ->
+        if c < wc || (c = wc && i < wi) then (i, c) else (wi, wc))
+      (max_int, infinity) raced
+  in
+  let outcomes =
+    List.map
+      (fun (i, label, _, c, seconds) ->
+        {
+          o_label = label;
+          o_index = i;
+          o_cost = c;
+          o_seconds = seconds;
+          o_winner = i = winner_index;
+        })
+      raced
+  in
+  let _, _, winner, _, _ = List.nth raced winner_index in
+  (winner, outcomes)
+
+(* ------------------------------------------------------------------ *)
 (* Did-you-mean                                                        *)
 (* ------------------------------------------------------------------ *)
 

@@ -95,6 +95,45 @@ val suggest : candidates:string list -> string -> string option
 (** Closest candidate by edit distance, if any is close enough to be a
     plausible misspelling — powers the did-you-mean hints. *)
 
+(** {1 Portfolio runs}
+
+    CONTRA-style synthesis-as-search: run several complete flows over
+    independent copies of the same graph — on separate domains when the
+    work-pool has more than one worker — and keep only the best result. *)
+
+type 'g entrant = {
+  label : string;  (** span scope ([<prefix>/portfolio/<label>]) and report name *)
+  flow : 'g t;
+}
+
+type outcome = {
+  o_label : string;
+  o_index : int;  (** position in the entrant list *)
+  o_cost : float;  (** the race cost of this entrant's result *)
+  o_seconds : float;  (** wall time of this entrant's run *)
+  o_winner : bool;
+}
+
+val portfolio :
+  ops:'g ops ->
+  ?span_prefix:string ->
+  ?jobs:int ->
+  cost:('g -> float) ->
+  'g entrant list ->
+  'g ->
+  'g * outcome list
+(** [portfolio ~ops ~cost entrants g] runs every entrant flow on its own
+    copy of [g] (taken on the calling domain) across a throwaway [Par] pool
+    of [jobs] workers, evaluates [cost] on each result, and returns the
+    winning graph plus one {!outcome} per entrant in entrant order.
+
+    The winner is chosen by {e lowest cost, then lowest entrant index} — a
+    total order independent of completion timing, so the result is
+    bit-identical for any [jobs] (DESIGN.md §11).  [jobs] defaults to
+    [Par.recommended_jobs ()].
+
+    @raise Invalid_argument on an empty entrant list. *)
+
 (** {1 The flow-script language}
 
     Concrete syntax for flows, used by [migsyn flow --script]:

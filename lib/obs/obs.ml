@@ -35,16 +35,42 @@ type series = {
 type span_event = {
   e_name : string;
   e_cat : string;
+  e_tid : int;  (* owning domain id *)
   e_start : int64;
   e_dur : int64;
   e_args : (string * Json.t) list;
 }
 
-let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
-let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let series_tbl : (string, series) Hashtbl.t = Hashtbl.create 16
-let events : span_event list ref = ref []
+(* All instrument state lives in a per-domain [store].  The main domain owns
+   the process-global registry that [reset]/export operate on; every other
+   domain (a Par worker) records into a domain-local store reachable through
+   DLS, which Par hands back to the pool owner at shutdown for merging.
+   Handles created at module-initialization time on the main domain are
+   shared records, so mutation entry points re-route by instrument *name*
+   when running off the main domain — a worker never writes to main-domain
+   state, and no lock is needed anywhere on the recording path. *)
+type store = {
+  counters_tbl : (string, counter) Hashtbl.t;
+  gauges_tbl : (string, gauge) Hashtbl.t;
+  histograms_tbl : (string, histogram) Hashtbl.t;
+  series_tbl : (string, series) Hashtbl.t;
+  mutable events : span_event list;
+}
+
+let fresh_store () =
+  {
+    counters_tbl = Hashtbl.create 64;
+    gauges_tbl = Hashtbl.create 16;
+    histograms_tbl = Hashtbl.create 16;
+    series_tbl = Hashtbl.create 16;
+    events = [];
+  }
+
+let global_store = fresh_store ()
+let local_key = Domain.DLS.new_key fresh_store
+
+let store () =
+  if Domain.is_main_domain () then global_store else Domain.DLS.get local_key
 
 let registered tbl make name =
   match Hashtbl.find_opt tbl name with
@@ -54,60 +80,86 @@ let registered tbl make name =
       Hashtbl.replace tbl name v;
       v
 
-let counter = registered counters_tbl (fun name -> { c_name = name; c_count = 0 })
-let incr ?(by = 1) c = if !enabled_flag then c.c_count <- c.c_count + by
-let count c = c.c_count
+let make_counter name = { c_name = name; c_count = 0 }
+let make_gauge name = { g_name = name; g_value = 0.0; g_set = false }
 
-let gauge = registered gauges_tbl (fun name -> { g_name = name; g_value = 0.0; g_set = false })
+let make_histogram name =
+  {
+    h_name = name;
+    h_count = 0;
+    h_sum = 0;
+    h_min = max_int;
+    h_max = min_int;
+    h_buckets = Hashtbl.create 16;
+  }
+
+let make_series name = { s_name = name; s_samples = [] }
+let counter name = registered (store ()).counters_tbl make_counter name
+let gauge name = registered (store ()).gauges_tbl make_gauge name
+let histogram name = registered (store ()).histograms_tbl make_histogram name
+let series name = registered (store ()).series_tbl make_series name
+
+(* Route a (possibly main-domain) handle to the calling domain's twin. *)
+let own_counter c = if Domain.is_main_domain () then c else counter c.c_name
+let own_gauge g = if Domain.is_main_domain () then g else gauge g.g_name
+let own_histogram h = if Domain.is_main_domain () then h else histogram h.h_name
+let own_series s = if Domain.is_main_domain () then s else series s.s_name
+
+let incr ?(by = 1) c =
+  if !enabled_flag then begin
+    let c = own_counter c in
+    c.c_count <- c.c_count + by
+  end
+
+let count c = c.c_count
 
 let set_gauge g v =
   if !enabled_flag then begin
+    let g = own_gauge g in
     g.g_value <- v;
     g.g_set <- true
   end
 
 let gauge_value g = g.g_value
 
-let histogram =
-  registered histograms_tbl (fun name ->
-      {
-        h_name = name;
-        h_count = 0;
-        h_sum = 0;
-        h_min = max_int;
-        h_max = min_int;
-        h_buckets = Hashtbl.create 16;
-      })
+let observe_into h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  Hashtbl.replace h.h_buckets v
+    (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets v))
 
-let observe h v =
-  if !enabled_flag then begin
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    Hashtbl.replace h.h_buckets v
-      (1 + Option.value ~default:0 (Hashtbl.find_opt h.h_buckets v))
-  end
-
+let observe h v = if !enabled_flag then observe_into (own_histogram h) v
 let histogram_count h = h.h_count
 
 let histogram_buckets h =
   Hashtbl.fold (fun v c acc -> (v, c) :: acc) h.h_buckets []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let series = registered series_tbl (fun name -> { s_name = name; s_samples = [] })
-
 let sample s fields =
-  if !enabled_flag then s.s_samples <- (now_ns (), fields) :: s.s_samples
+  if !enabled_flag then begin
+    let s = own_series s in
+    s.s_samples <- (now_ns (), fields) :: s.s_samples
+  end
 
 let samples s = List.rev_map snd s.s_samples
 
 let emit_span ?(cat = "") ?(args = []) name ~t0 =
-  if !enabled_flag then
+  if !enabled_flag then begin
     let t1 = now_ns () in
-    events :=
-      { e_name = name; e_cat = cat; e_start = t0; e_dur = Int64.sub t1 t0; e_args = args }
-      :: !events
+    let st = store () in
+    st.events <-
+      {
+        e_name = name;
+        e_cat = cat;
+        e_tid = (Domain.self () :> int);
+        e_start = t0;
+        e_dur = Int64.sub t1 t0;
+        e_args = args;
+      }
+      :: st.events
+  end
 
 let with_span ?cat ?args name f =
   if not !enabled_flag then f ()
@@ -123,12 +175,13 @@ let with_span ?cat ?args name f =
   end
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_count <- 0) counters_tbl;
+  let st = store () in
+  Hashtbl.iter (fun _ c -> c.c_count <- 0) st.counters_tbl;
   Hashtbl.iter
     (fun _ g ->
       g.g_value <- 0.0;
       g.g_set <- false)
-    gauges_tbl;
+    st.gauges_tbl;
   Hashtbl.iter
     (fun _ h ->
       h.h_count <- 0;
@@ -136,10 +189,69 @@ let reset () =
       h.h_min <- max_int;
       h.h_max <- min_int;
       Hashtbl.reset h.h_buckets)
-    histograms_tbl;
-  Hashtbl.iter (fun _ s -> s.s_samples <- []) series_tbl;
-  events := [];
+    st.histograms_tbl;
+  Hashtbl.iter (fun _ s -> s.s_samples <- []) st.series_tbl;
+  st.events <- [];
   epoch := now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker-domain buffers                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = struct
+  type snapshot = store
+
+  let capture () =
+    if Domain.is_main_domain () then fresh_store ()
+    else begin
+      let s = Domain.DLS.get local_key in
+      Domain.DLS.set local_key (fresh_store ());
+      s
+    end
+
+  let merge snap =
+    let dst = store () in
+    Hashtbl.iter
+      (fun name (c : counter) ->
+        let d = registered dst.counters_tbl make_counter name in
+        d.c_count <- d.c_count + c.c_count)
+      snap.counters_tbl;
+    Hashtbl.iter
+      (fun name (g : gauge) ->
+        if g.g_set then begin
+          let d = registered dst.gauges_tbl make_gauge name in
+          d.g_value <- g.g_value;
+          d.g_set <- true
+        end)
+      snap.gauges_tbl;
+    Hashtbl.iter
+      (fun name (h : histogram) ->
+        let d = registered dst.histograms_tbl make_histogram name in
+        Hashtbl.iter
+          (fun v n ->
+            Hashtbl.replace d.h_buckets v
+              (n + Option.value ~default:0 (Hashtbl.find_opt d.h_buckets v)))
+          h.h_buckets;
+        d.h_count <- d.h_count + h.h_count;
+        d.h_sum <- d.h_sum + h.h_sum;
+        if h.h_count > 0 then begin
+          d.h_min <- min d.h_min h.h_min;
+          d.h_max <- max d.h_max h.h_max
+        end)
+      snap.histograms_tbl;
+    Hashtbl.iter
+      (fun name (s : series) ->
+        if s.s_samples <> [] then begin
+          let d = registered dst.series_tbl make_series name in
+          (* keep the newest-first invariant across the interleaved domains *)
+          d.s_samples <-
+            List.sort
+              (fun (a, _) (b, _) -> Int64.compare b a)
+              (s.s_samples @ d.s_samples)
+        end)
+      snap.series_tbl;
+    dst.events <- snap.events @ dst.events
+end
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -148,7 +260,10 @@ let reset () =
 let sorted_names tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
 let counters () =
-  List.map (fun n -> (n, (Hashtbl.find counters_tbl n).c_count)) (sorted_names counters_tbl)
+  let st = store () in
+  List.map
+    (fun n -> (n, (Hashtbl.find st.counters_tbl n).c_count))
+    (sorted_names st.counters_tbl)
 
 type span_stat = { st_count : int; st_total : int64 }
 
@@ -161,7 +276,7 @@ let span_stats () =
       in
       Hashtbl.replace tbl e.e_name
         { st_count = prev.st_count + 1; st_total = Int64.add prev.st_total e.e_dur })
-    !events;
+    (store ()).events;
   Hashtbl.fold (fun name st acc -> (name, st) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b.st_total a.st_total)
 
@@ -186,6 +301,7 @@ let histogram_json h =
     ]
 
 let metrics_json () =
+  let st = store () in
   let counters_json =
     Json.Assoc (List.map (fun (n, c) -> (n, Json.Int c)) (counters ()))
   in
@@ -193,28 +309,28 @@ let metrics_json () =
     Json.Assoc
       (List.filter_map
          (fun n ->
-           let g = Hashtbl.find gauges_tbl n in
+           let g = Hashtbl.find st.gauges_tbl n in
            if g.g_set then Some (n, Json.Float g.g_value) else None)
-         (sorted_names gauges_tbl))
+         (sorted_names st.gauges_tbl))
   in
   let histograms_json =
     Json.Assoc
       (List.map
-         (fun n -> (n, histogram_json (Hashtbl.find histograms_tbl n)))
-         (sorted_names histograms_tbl))
+         (fun n -> (n, histogram_json (Hashtbl.find st.histograms_tbl n)))
+         (sorted_names st.histograms_tbl))
   in
   let series_json =
     Json.Assoc
       (List.map
          (fun n ->
-           let s = Hashtbl.find series_tbl n in
+           let s = Hashtbl.find st.series_tbl n in
            ( n,
              Json.List
                (List.map
                   (fun fields ->
                     Json.Assoc (List.map (fun (k, v) -> (k, Json.Float v)) fields))
                   (samples s)) ))
-         (sorted_names series_tbl))
+         (sorted_names st.series_tbl))
   in
   let spans_json =
     Json.Assoc
@@ -244,12 +360,13 @@ let metrics_json () =
 let us_since_epoch ts = Int64.to_float (Int64.sub ts !epoch) /. 1_000.0
 
 let chrome_trace_json () =
-  let common name cat ts =
+  let st = store () in
+  let common name cat tid ts =
     [
       ("name", Json.String name);
       ("cat", Json.String (if cat = "" then "default" else cat));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int tid);
       ("ts", Json.Float (us_since_epoch ts));
     ]
   in
@@ -257,29 +374,29 @@ let chrome_trace_json () =
     List.rev_map
       (fun e ->
         Json.Assoc
-          (common e.e_name e.e_cat e.e_start
+          (common e.e_name e.e_cat (e.e_tid + 1) e.e_start
           @ [
               ("ph", Json.String "X");
               ("dur", Json.Float (Int64.to_float e.e_dur /. 1_000.0));
             ]
           @ if e.e_args = [] then [] else [ ("args", Json.Assoc e.e_args) ]))
-      !events
+      st.events
   in
   let counter_events =
     List.concat_map
       (fun n ->
-        let s = Hashtbl.find series_tbl n in
+        let s = Hashtbl.find st.series_tbl n in
         List.rev_map
           (fun (ts, fields) ->
             Json.Assoc
-              (common s.s_name "series" ts
+              (common s.s_name "series" 1 ts
               @ [
                   ("ph", Json.String "C");
                   ( "args",
                     Json.Assoc (List.map (fun (k, v) -> (k, Json.Float v)) fields) );
                 ]))
           s.s_samples)
-      (sorted_names series_tbl)
+      (sorted_names st.series_tbl)
   in
   let metadata =
     Json.Assoc
@@ -310,6 +427,7 @@ let write_json path json =
 (* ------------------------------------------------------------------ *)
 
 let pp_report ppf () =
+  let st = store () in
   let ms i64 = Int64.to_float i64 /. 1.0e6 in
   let spans = span_stats () in
   if spans <> [] then begin
@@ -333,9 +451,9 @@ let pp_report ppf () =
   let set_gauges =
     List.filter_map
       (fun n ->
-        let g = Hashtbl.find gauges_tbl n in
+        let g = Hashtbl.find st.gauges_tbl n in
         if g.g_set then Some (n, g.g_value) else None)
-      (sorted_names gauges_tbl)
+      (sorted_names st.gauges_tbl)
   in
   if set_gauges <> [] then begin
     Format.fprintf ppf "@[<v>gauges:@,";
@@ -344,14 +462,14 @@ let pp_report ppf () =
   end;
   let live_hists =
     List.filter
-      (fun n -> (Hashtbl.find histograms_tbl n).h_count > 0)
-      (sorted_names histograms_tbl)
+      (fun n -> (Hashtbl.find st.histograms_tbl n).h_count > 0)
+      (sorted_names st.histograms_tbl)
   in
   if live_hists <> [] then begin
     Format.fprintf ppf "@[<v>histograms:@,";
     List.iter
       (fun n ->
-        let h = Hashtbl.find histograms_tbl n in
+        let h = Hashtbl.find st.histograms_tbl n in
         Format.fprintf ppf "  %-44s n=%d min=%d max=%d mean=%.2f@," n h.h_count h.h_min
           h.h_max
           (float_of_int h.h_sum /. float_of_int h.h_count))

@@ -26,7 +26,20 @@
 
     Everything recorded is deterministic except timestamps and durations:
     two runs of the same seeded workload produce identical counters,
-    histograms and series (the test suite pins this). *)
+    histograms and series (the test suite pins this).
+
+    {b Domains.} The registry above is the {e main domain's}.  Code running
+    on any other domain (a [Par] worker) transparently records into a
+    domain-local buffer instead — no locks on the recording path, no
+    cross-domain writes — and span events remember the recording domain's id
+    (exported as the Chrome trace [tid]).  {!Worker.capture} detaches a
+    worker's buffer and {!Worker.merge} folds it into the calling domain's
+    registry; the [Par] pool does both at shutdown, so after
+    [Par.shutdown]/[Par.map] return, main-domain counters, histograms,
+    series and span aggregates include everything the workers recorded.
+    Counter merges are additive and therefore independent of scheduling;
+    a gauge merged from a worker keeps the last value written (which worker
+    wins is unspecified when several set the same gauge). *)
 
 module Json = Json
 
@@ -95,6 +108,31 @@ val emit_span : ?cat:string -> ?args:(string * Json.t) list -> string -> t0:int6
 (** Record a complete event that started at monotonic time [t0] and ends
     now — for call sites that compute their [args] during the timed region.
     No-op when disabled. *)
+
+(** {1 Worker-domain buffers}
+
+    The hand-off half of the domain story above.  Only pool implementations
+    need this; instrumented code is oblivious to which domain it runs on. *)
+
+module Worker : sig
+  type snapshot
+  (** Everything one domain recorded: counters, gauges, histograms, series
+      samples and span events. *)
+
+  val capture : unit -> snapshot
+  (** Detach and return the calling domain's buffer, leaving it empty.  On
+      a worker domain this must be the last observability action before the
+      domain exits (the [Par] worker loop calls it on the way out).  On the
+      main domain it returns an empty snapshot and touches nothing. *)
+
+  val merge : snapshot -> unit
+  (** Fold a captured buffer into the calling domain's registry: counts and
+      histogram buckets add, series samples interleave by timestamp, span
+      events append with their original domain ids.  Called on the main
+      domain this lands in the global registry; called on a worker (a
+      nested pool) it lands in that worker's buffer and propagates upward
+      at its own capture. *)
+end
 
 (** {1 Snapshots and export} *)
 
