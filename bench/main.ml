@@ -278,6 +278,29 @@ let () =
         (Exp.Ablation.yield_curve ~trials:100 (pick name)))
     [ "5xp1"; "b9" ];
   Format.printf
+    "@,Statistical variability (Monte-Carlo yield vs sigma over the sampled@,\
+     device physics; Wilson 95%% CIs; campaign fans across the Par pool):@,";
+  List.iter
+    (fun name ->
+      let config =
+        {
+          Exp.Montecarlo.default with
+          trials = 100;
+          sigmas = [ 0.5; 1.0; 1.5 ];
+          jobs = Some jobs;
+        }
+      in
+      let t =
+        Exp.Montecarlo.run ~config ~name ((pick name).Io.Benchmarks.build ())
+      in
+      let executions =
+        float_of_int (t.Exp.Montecarlo.trials * List.length t.Exp.Montecarlo.points)
+      in
+      Format.printf "  %a  (%.0f trials/s, --jobs %d)@," Exp.Montecarlo.pp t
+        (executions /. t.Exp.Montecarlo.wall_seconds)
+        jobs)
+    [ "5xp1"; "b9" ];
+  Format.printf
     "@,Pulse energy (static pulse counts, arbitrary units) and crossbar geometry:@,";
   List.iter
     (fun name ->

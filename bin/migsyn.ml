@@ -8,6 +8,7 @@
      compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
      bench     run the paper's experiment rows for named benchmarks
      faults    stuck-at repair demo + baseline/resilient/TMR yield experiment
+     montecarlo  yield-vs-variability campaign over the statistical device model
      profile   optimize + compile + execute with a timing/counter report
 
    Every subcommand accepts --trace FILE (Chrome trace-event JSON, loadable
@@ -592,6 +593,12 @@ let faults_cmd =
           ~doc:"Verification rounds of the resilient executor's remap/retry loop.")
   in
   let run trace metrics path alg effort realization rate trials seed attempts =
+    if not (Float.is_finite rate && rate >= 0.0 && rate <= 1.0) then
+      failwith (Printf.sprintf "--rate must be a probability in [0, 1] (got %g)" rate);
+    if trials < 1 then
+      failwith (Printf.sprintf "--trials must be at least 1 (got %d)" trials);
+    if attempts < 1 then
+      failwith (Printf.sprintf "--max-attempts must be at least 1 (got %d)" attempts);
     with_obs trace metrics @@ fun () ->
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
@@ -607,8 +614,9 @@ let faults_cmd =
       (Rram.Program.num_steps tmr.Rram.Tmr.program)
       tmr.Rram.Tmr.voters;
     (* Single-defect repair demo: find a stuck-at fault that breaks the
-       program, then let the resilient executor repair it. *)
-    let vectors = Rram.Verify.vectors program.Rram.Program.num_inputs in
+       program, then let the resilient executor repair it.  The vectors
+       follow --seed so the whole run replays under the same flag. *)
+    let vectors = Rram.Verify.vectors ~seed program.Rram.Program.num_inputs in
     let breaking = ref None in
     (try
        for cell = 0 to program.Rram.Program.num_regs - 1 do
@@ -674,6 +682,93 @@ let faults_cmd =
     Term.(
       const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
       $ realization_arg $ rate_arg $ trials_arg $ seed_arg $ attempts_arg)
+
+(* ---------------- montecarlo ---------------- *)
+
+let montecarlo_cmd =
+  let open Exp.Montecarlo in
+  let trials_arg =
+    Arg.(
+      value & opt int default.trials
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials per sigma point.")
+  in
+  let sigma_arg =
+    Arg.(
+      value & opt_all float []
+      & info [ "sigma" ] ~docv:"S"
+          ~doc:
+            "Variability scale (repeatable): multiplies the lognormal \
+             LRS/HRS shapes of the device model. 0 is a uniform array, 1 \
+             the nominal spread. Default: 0.25 0.5 1.0 1.5.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int default.seed
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Campaign master seed. Trial $(i,t) draws from the split \
+             stream $(i,split(S, t)) whatever $(b,--jobs) is, so equal \
+             seeds replay bit-identical campaigns.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign as JSON (schema migsyn-montecarlo/1). \
+             Deterministic except the top-level wall_seconds member.")
+  in
+  let vectors_arg =
+    Arg.(
+      value & opt int default.vectors
+      & info [ "vectors" ] ~docv:"N" ~doc:"Test vectors evaluated per execution.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int default.max_attempts
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Verification rounds of the resilient controller's remap/retry loop.")
+  in
+  let run trace metrics path alg effort realization trials sigmas seed jobs json
+      vectors attempts =
+    let config =
+      {
+        default with
+        trials;
+        sigmas = (if sigmas = [] then default.sigmas else sigmas);
+        seed;
+        jobs = Some (resolve_jobs jobs);
+        effort;
+        algorithm = alg;
+        realization;
+        vectors;
+        max_attempts = attempts;
+      }
+    in
+    (match validate config with Ok () -> () | Error e -> failwith e);
+    with_obs trace metrics @@ fun () ->
+    let net = parse_netlist path in
+    let campaign = run ~config ~name:(Filename.basename path) net in
+    Format.printf "%a@." pp campaign;
+    match json with
+    | None -> ()
+    | Some file ->
+        Obs.write_json file (to_json campaign);
+        Format.printf "wrote campaign %s@." file
+  in
+  Cmd.v
+    (Cmd.info "montecarlo"
+       ~doc:
+         "Monte-Carlo yield campaign over statistical device variability: \
+          sample lognormal LRS/HRS spreads, sense noise and endurance drift \
+          per device, and measure functional yield vs sigma for bare IMP/MAJ \
+          execution, the resilient controller (plain and wear-aware \
+          remapping) and TMR, with Wilson 95% confidence intervals. \
+          Bit-reproducible for any --jobs at a fixed --seed.")
+    Term.(
+      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      $ realization_arg $ trials_arg $ sigma_arg $ seed_arg $ jobs_arg $ json_arg
+      $ vectors_arg $ attempts_arg)
 
 (* ---------------- profile ---------------- *)
 
@@ -806,6 +901,7 @@ let subcommands =
     plim_cmd;
     export_cmd;
     faults_cmd;
+    montecarlo_cmd;
     profile_cmd;
   ]
 

@@ -118,14 +118,14 @@ let schedule_row ?(effort = 20) e =
   in
   (asap, bal)
 
-let yield_curve ?(effort = 10) ?(realization = Core.Rram_cost.Maj)
+let yield_curve ?seed ?(effort = 10) ?(realization = Core.Rram_cost.Maj)
     ?(rates = [ 0.003; 0.01; 0.03 ]) ?(trials = 150) e =
   let mig = Core.Mig_opt.steps ~effort (mig_of e) in
   let compiled = Rram.Compile_mig.compile realization mig in
   let reference = Core.Mig_sim.eval mig in
   List.map
     (fun rate ->
-      Rram.Faults.yield_comparison ~trials ~rate compiled.Rram.Compile_mig.program
+      Rram.Faults.yield_comparison ?seed ~trials ~rate compiled.Rram.Compile_mig.program
         ~reference)
     rates
 

@@ -57,6 +57,7 @@ val schedule_row : ?effort:int -> Io.Benchmarks.entry -> Core.Rram_cost.cost * C
     unchanged (or better) step count. *)
 
 val yield_curve :
+  ?seed:int ->
   ?effort:int ->
   ?realization:Core.Rram_cost.realization ->
   ?rates:float list ->
@@ -67,7 +68,9 @@ val yield_curve :
     step-optimized program, comparing three execution regimes on the same
     defect maps: as compiled, with the {!Rram.Resilient} remap/retry
     controller, and under {!Rram.Tmr} majority voting.  One comparison per
-    rate. *)
+    rate.  [seed] pins the defect-map streams (default
+    {!Rram.Faults.yield_comparison}'s), making the whole curve
+    reproducible. *)
 
 val boolean_rewrite_row :
   ?effort:int -> Io.Benchmarks.entry -> int * int * int

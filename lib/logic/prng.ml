@@ -12,13 +12,29 @@ let of_string s =
     s;
   { state = !h }
 
-let next64 t =
-  (* splitmix64 step *)
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+let mix64 z =
+  (* splitmix64 finalizer *)
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  (* splitmix64 step *)
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  mix64 t.state
+
+let split_seed master index =
+  (* Two finalizer rounds over master ⊕ (γ · (index + 1)): a cheap keyed hash
+     whose streams are independent of each other and of the master stream
+     itself (the plain counter walk never applies the finalizer twice). *)
+  let z =
+    Int64.add
+      (mix64 (Int64.of_int master))
+      (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (index + 1)))
+  in
+  Int64.to_int (mix64 (mix64 z))
+
+let split t index = { state = Int64.of_int (split_seed (Int64.to_int t.state) index) }
 
 let int t bound =
   assert (bound > 0);
@@ -30,6 +46,12 @@ let bool t = Int64.logand (next64 t) 1L = 1L
 let float t =
   let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
   v /. 9007199254740992.0 (* 2^53 *)
+
+let gaussian t =
+  (* Box–Muller; one deviate per pair of uniforms, no state beyond [t].
+     [1 - float] lands in (0, 1], keeping the log argument positive. *)
+  let u1 = 1.0 -. float t and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
 let pick t a =
   assert (Array.length a > 0);

@@ -20,6 +20,18 @@ val of_string : string -> t
 val next64 : t -> int64
 (** Next raw 64-bit value. *)
 
+val split_seed : int -> int -> int
+(** [split_seed master index] derives the seed of an independent child
+    stream: a keyed hash (two splitmix64 finalizer rounds) of the pair, so
+    [create (split_seed m i)] depends only on [(m, i)] — never on how many
+    values were drawn elsewhere, or on which domain asks.  This is what
+    makes Monte-Carlo trial [i] bit-reproducible regardless of [--jobs]:
+    every trial owns stream [split_seed campaign_seed i]. *)
+
+val split : t -> int -> t
+(** [split t i] is [create (split_seed s i)] for the generator's current
+    state [s]; the parent stream is not advanced. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
 
@@ -28,6 +40,9 @@ val bool : t -> bool
 
 val float : t -> float
 (** Uniform float in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller over two uniform draws). *)
 
 val pick : t -> 'a array -> 'a
 (** Uniform choice from a non-empty array. *)

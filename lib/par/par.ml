@@ -146,3 +146,8 @@ let map ?jobs f xs =
       with_pool ~jobs (fun pool ->
           let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
           List.map await tasks)
+
+let map_seeded ?jobs ~seed f xs =
+  map ?jobs
+    (fun (i, x) -> f ~seed:(Logic.Prng.split_seed seed i) x)
+    (List.mapi (fun i x -> (i, x)) xs)

@@ -78,3 +78,11 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     this is exactly [List.map f xs] (no domains are spawned).  If several
     elements raise, the exception of the earliest one in list order
     propagates. *)
+
+val map_seeded : ?jobs:int -> seed:int -> (seed:int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} with a deterministic per-element PRNG seed: element [i] receives
+    [Logic.Prng.split_seed seed i], a statistically independent stream keyed
+    by list {e position} — never by which domain runs the task or in what
+    order tasks complete.  This is the seeding half of the [jobs=1 ≡ jobs=N]
+    determinism contract for Monte-Carlo campaigns (DESIGN.md §12): equal
+    [(seed, xs)] give equal results for every [jobs]. *)

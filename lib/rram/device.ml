@@ -12,27 +12,68 @@ let model ?(write_fail = 0.0) ?(read_disturb = 0.0) ?(endurance = 0) ~seed () =
   if read_disturb < 0.0 || read_disturb > 1.0 then invalid_arg "Device.model: read_disturb";
   { write_fail; read_disturb; endurance; rng = Logic.Prng.create seed }
 
+type physics = {
+  r_lrs : float;
+  r_hrs : float;
+  v_read : float;
+  i_ref : float;
+  read_noise : float;
+  drift : float;
+  rng : Logic.Prng.t;
+}
+
 type t = {
   mutable state : bool;
   mutable defect : defect option;
   mutable wear : int;
   model : model option;
+  phys : physics option;
 }
 
-let create () = { state = false; defect = None; wear = 0; model = None }
+let create () = { state = false; defect = None; wear = 0; model = None; phys = None }
 
 let set_defect d defect =
   d.defect <- Some defect;
   d.state <- (match defect with Stuck_0 -> false | Stuck_1 -> true)
 
 let create_with ?defect m =
-  let d = { state = false; defect = None; wear = 0; model = Some m } in
+  let d = { state = false; defect = None; wear = 0; model = Some m; phys = None } in
+  Option.iter (set_defect d) defect;
+  d
+
+let create_phys ?defect ?model phys =
+  let d = { state = false; defect = None; wear = 0; model; phys = Some phys } in
   Option.iter (set_defect d) defect;
   d
 
 let defect d = d.defect
 let wear d = d.wear
 let observe d = d.state
+let physics d = d.phys
+
+(* Endurance drift closes the resistance window as switching events
+   accumulate: the low-resistance state drifts up, the high-resistance state
+   down, both linearly in wear (DESIGN.md §12). *)
+let effective_resistances p ~wear =
+  let f = 1.0 +. (p.drift *. float_of_int wear) in
+  (p.r_lrs *. f, p.r_hrs /. f)
+
+let sense_margin p ~wear state =
+  let r_lrs, r_hrs = effective_resistances p ~wear in
+  let i = p.v_read /. (if state then r_lrs else r_hrs) in
+  (* Signed distance of the state's read current from the sense reference,
+     in units of the thermal-noise sigma of that current: positive margins
+     read correctly with probability Φ(margin). *)
+  let signed = if state then i -. p.i_ref else p.i_ref -. i in
+  if p.read_noise <= 0.0 then (if signed >= 0.0 then infinity else neg_infinity)
+  else signed /. (p.read_noise *. i)
+
+let margin d =
+  match d.phys with
+  | None -> None
+  | Some p ->
+      let m s = sense_margin p ~wear:d.wear s in
+      Some (Float.min (m true) (m false))
 
 (* Drive the cell toward [v].  A defective cell ignores every pulse; a healthy
    switching event may fail probabilistically, costs one endurance cycle, and
@@ -58,10 +99,22 @@ let switch d v =
       end
 
 let read d =
-  match d.model with
-  | Some m when m.read_disturb > 0.0 && Logic.Prng.float m.rng < m.read_disturb ->
-      not d.state
-  | _ -> d.state
+  match d.phys with
+  | Some p ->
+      (* Sense the stored resistance against the shared current reference:
+         the stored state's read current, degraded by endurance drift and
+         jittered by thermal noise, decides the sensed logic level.  The
+         failure probability is Φ(-margin) of the sampled window — never a
+         flat coin flip. *)
+      let r_lrs, r_hrs = effective_resistances p ~wear:d.wear in
+      let i = p.v_read /. (if d.state then r_lrs else r_hrs) in
+      let sensed = i *. (1.0 +. (p.read_noise *. Logic.Prng.gaussian p.rng)) in
+      sensed > p.i_ref
+  | None -> (
+      match d.model with
+      | Some m when m.read_disturb > 0.0 && Logic.Prng.float m.rng < m.read_disturb ->
+          not d.state
+      | _ -> d.state)
 
 let clear d = switch d false
 let set d = switch d true

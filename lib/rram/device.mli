@@ -41,6 +41,23 @@ val model :
     (default 0); [endurance] the number of switching events before the
     cell freezes, 0 meaning unlimited (default). *)
 
+type physics = {
+  r_lrs : float;  (** sampled low-resistance-state resistance, Ω *)
+  r_hrs : float;  (** sampled high-resistance-state resistance, Ω *)
+  v_read : float;  (** read voltage, V *)
+  i_ref : float;  (** sense-amplifier current reference, A *)
+  read_noise : float;  (** relative sigma of the sensed current *)
+  drift : float;  (** window closure per switching event (endurance drift) *)
+  rng : Logic.Prng.t;  (** device-local stream for read-noise draws *)
+}
+(** Statistical device physics ({!Variation} samples these per device): the
+    cell's {e sampled} LRS/HRS resistances, the sensing configuration, and
+    the endurance-drift law.  A device carrying physics senses reads as a
+    current comparison — the stored state's read current, degraded by drift
+    in proportion to the accumulated {!wear} and jittered by Gaussian
+    thermal noise, against [i_ref] — so its read-failure probability is
+    Φ(-margin) of the sampled resistance window, not a flat coin flip. *)
+
 type t
 
 val create : unit -> t
@@ -49,6 +66,19 @@ val create : unit -> t
 val create_with : ?defect:defect -> model -> t
 (** A fresh device governed by a non-ideal model, optionally with a
     manufacturing defect. *)
+
+val create_phys : ?defect:defect -> ?model:model -> physics -> t
+(** A fresh device with sampled statistical physics; an optional [model]
+    layers the boolean non-idealities (write failure, finite endurance) on
+    top — the two compose, with [physics] owning the read path. *)
+
+val physics : t -> physics option
+
+val margin : t -> float option
+(** Worst-case sense margin of the two states at the current wear, in
+    thermal-noise sigmas ([None] for devices without physics).  Negative
+    once drift or an unlucky resistance draw pushes a state's read current
+    across the reference — such a cell misreads more often than not. *)
 
 val set_defect : t -> defect -> unit
 (** Pin the cell: its state snaps to the defect value and every subsequent

@@ -1,8 +1,12 @@
-let crossbar ?model ?(defects = []) ?(stuck = []) num_regs =
+let crossbar ?model ?physics ?(defects = []) ?(stuck = []) num_regs =
   let devices =
-    match model with
-    | None -> Array.init num_regs (fun _ -> Device.create ())
-    | Some m -> Array.init num_regs (fun _ -> Device.create_with m)
+    match (physics, model) with
+    | Some phys, _ ->
+        if Array.length phys < num_regs then
+          invalid_arg "Interp.crossbar: physics array too small";
+        Array.init num_regs (fun i -> Device.create_phys ?model phys.(i))
+    | None, None -> Array.init num_regs (fun _ -> Device.create ())
+    | None, Some m -> Array.init num_regs (fun _ -> Device.create_with m)
   in
   let pin (r, d) = if r >= 0 && r < num_regs then Device.set_defect devices.(r) d in
   List.iter pin defects;

@@ -38,13 +38,18 @@
 
 val crossbar :
   ?model:Device.model ->
+  ?physics:Device.physics array ->
   ?defects:(Isa.reg * Device.defect) list ->
   ?stuck:(Isa.reg * bool) list ->
   int ->
   Device.t array
 (** [crossbar n] allocates [n] fresh devices with the given non-idealities
     applied.  Defect entries outside [0, n) are ignored (they name physical
-    cells the program does not use). *)
+    cells the program does not use).  [physics] gives each device its
+    sampled statistical physics ({!Variation.sample}); it must cover at
+    least [n] cells and takes precedence over [model] for the read path
+    ([model] still contributes write failure and endurance when both are
+    given). *)
 
 val run_on :
   devices:Device.t array ->

@@ -31,3 +31,19 @@ val remap :
     when the placement's array has too few spare sites.  Bad registers that
     are dead or out of range are ignored; if none remain, the program is
     returned unchanged with no moves. *)
+
+val remap_wear_aware :
+  ?placement:Placement.t ->
+  wear:int array ->
+  Program.t ->
+  bad:Isa.reg list ->
+  (t, string) result
+(** Wear-leveling-aware variant: [wear.(c)] is the accumulated switching
+    count of physical cell [c] over the whole array ([Array.length wear]
+    cells; a [placement] further caps the usable sites).  Replacements are
+    the free cells — not live in the program, not listed bad — of least
+    wear, ties to the lower index.  Under endurance drift a low-wear cell
+    is the one with the widest remaining resistance window, so repairs
+    steer toward the healthy region of the crossbar and write load spreads
+    instead of piling onto the same spares.  Deterministic for equal
+    inputs; errors when fewer free cells remain than are needed. *)

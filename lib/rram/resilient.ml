@@ -58,10 +58,11 @@ let diagnose env program v =
   in
   scan program.Program.steps (List.combine golden faulty) None
 
-let run ?(max_attempts = 4) ?placement ?vectors env program ~reference =
+let run ?(max_attempts = 4) ?placement ?remap ?vectors env program ~reference =
   let vecs =
     match vectors with Some v -> v | None -> Verify.vectors program.Program.num_inputs
   in
+  let remap = match remap with Some f -> f | None -> Remap.remap ?placement in
   let diagnosed = ref [] and moves = ref [] in
   let first_failure p = List.find_opt (fun v -> env.execute p v <> reference v) vecs in
   let rec attempt n p =
@@ -73,7 +74,11 @@ let run ?(max_attempts = 4) ?placement ?vectors env program ~reference =
           match diagnose env p v with
           | [] -> (n, false, p)
           | bad -> (
-              match Remap.remap ?placement p ~bad with
+              (* The policy sees every cell diagnosed so far, not just this
+                 round's: earlier casualties are dead in [p] (a plain remap
+                 ignores them) but a wear-aware policy must keep them out of
+                 its replacement pool. *)
+              match remap p ~bad:(bad @ !diagnosed) with
               | Error _ -> (n, false, p)
               | Ok r ->
                   if r.Remap.moves = [] then (n, false, p)

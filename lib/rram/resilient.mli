@@ -46,6 +46,7 @@ val diagnose : env -> Program.t -> bool array -> Isa.reg list
 val run :
   ?max_attempts:int ->
   ?placement:Placement.t ->
+  ?remap:(Program.t -> bad:Isa.reg list -> (Remap.t, string) result) ->
   ?vectors:bool array list ->
   env ->
   Program.t ->
@@ -54,4 +55,11 @@ val run :
 (** Run the detect → diagnose → remap → retry loop ([max_attempts]
     verification rounds, default 4).  [vectors] defaults to
     {!Verify.vectors} (exhaustive up to 12 inputs); [placement] bounds the
-    spare cells available to {!Remap.remap}. *)
+    spare cells available to {!Remap.remap}.
+
+    [remap] is the repair policy, defaulting to [Remap.remap ?placement];
+    pass e.g. a closure over {!Remap.remap_wear_aware} with a live wear
+    snapshot to steer repairs toward low-wear cells.  The [bad] list a
+    policy receives is cumulative — every cell diagnosed so far, not just
+    this round's — so a policy choosing replacements from a free-cell pool
+    must exclude all of them. *)
