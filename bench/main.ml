@@ -15,7 +15,11 @@
    --jobs N fans the per-circuit work of each table over N domains
    (default 1 — the stable-timing baseline).  Row content is bit-identical
    to the sequential run except for the wall-time fields; only the
-   elapsed time changes (DESIGN.md §11). *)
+   elapsed time changes (DESIGN.md §11).
+   --ledger FILE (or $MIGSYN_LEDGER) appends a migsyn-run/1 manifest of
+   the whole harness run — effort, jobs, table timings, the per-cell
+   BENCH_opt measurements and the aggregated span tree — to a JSON-lines
+   run ledger, comparable across runs with `migsyn report`. *)
 
 open Bechamel
 open Toolkit
@@ -41,6 +45,15 @@ let jobs =
         match int_of_string_opt n with
         | Some n when n >= 1 -> n
         | _ -> failwith "bench: --jobs expects a positive integer")
+    | _ :: rest -> scan rest
+  in
+  scan (Array.to_list Sys.argv)
+
+let ledger_path =
+  let rec scan = function
+    | [] -> Sys.getenv_opt "MIGSYN_LEDGER"
+    | "--ledger" :: p :: _ when String.length p > 0 && p.[0] <> '-' -> Some p
+    | "--ledger" :: _ -> failwith "bench: --ledger expects a file path"
     | _ :: rest -> scan rest
   in
   scan (Array.to_list Sys.argv)
@@ -80,6 +93,15 @@ let () =
   Printf.printf "MIG-based RRAM synthesis — evaluation harness (effort = %d, jobs = %d)\n"
     effort jobs;
 
+  if ledger_path <> None then begin
+    Obs.set_enabled true;
+    Obs.reset ();
+    Obs.Manifest.start ~tool:"bench" ~subcommand:"harness"
+      ~argv:(Array.to_list Sys.argv) ();
+    Obs.Manifest.add_context "effort" (Obs.Json.Int effort);
+    Obs.Manifest.add_context "jobs" (Obs.Json.Int jobs)
+  end;
+
   section "Table I: cost model cross-check";
   Format.printf "%a@." Exp.Experiments.pp_table1_check ();
 
@@ -87,6 +109,8 @@ let () =
   let t2, t2_time = wall (fun () -> Exp.Experiments.table2 ~effort ~jobs ()) in
   Format.printf "%a@." Exp.Experiments.pp_table2 t2;
   Printf.printf "(Table II computed in %.2f s — all six algorithms over the suite)\n" t2_time;
+  Obs.Manifest.add_result "table2_rows" (Obs.Json.Int (List.length t2));
+  Obs.Manifest.add_result "table2_seconds" (Obs.Json.Float t2_time);
 
   section "Table III (left): MIG vs the BDD-based flow [11]";
   let t3b, t3b_time = wall (fun () -> Exp.Experiments.table3_bdd ~effort ~jobs ()) in
@@ -211,7 +235,18 @@ let () =
            ]);
       Printf.printf
         "  wrote %s (%d rows: optimization wall times on the largest circuits; %.2f s)\n"
-        opt_path (List.length opt_rows) opt_dt);
+        opt_path (List.length opt_rows) opt_dt;
+      (* Mirror the BENCH_opt cells into the run manifest so a ledgered
+         harness run is directly comparable to the committed baseline. *)
+      List.iter
+        (fun row ->
+          let s k =
+            match Obs.Json.member k row with Obs.Json.String s -> s | _ -> ""
+          in
+          Obs.Manifest.add_result
+            (Printf.sprintf "opt.%s.%s.seconds" (s "circuit") (s "algorithm"))
+            (Obs.Json.member "seconds" row))
+        opt_rows);
 
   section "Ablations (design-choice studies; see DESIGN.md)";
   let pick name = Option.get (Io.Benchmarks.find name) in
@@ -366,4 +401,9 @@ let () =
           | _ -> Printf.printf "  %-40s (no estimate)\n" name)
         results)
     tests;
+  (match ledger_path with
+  | None -> ()
+  | Some path ->
+      Obs.Ledger.append path (Obs.Manifest.finish ());
+      Printf.printf "\nappended run to %s\n" path);
   Printf.printf "\nDone.\n"

@@ -10,50 +10,126 @@
      faults    stuck-at repair demo + baseline/resilient/TMR yield experiment
      montecarlo  yield-vs-variability campaign over the statistical device model
      profile   optimize + compile + execute with a timing/counter report
+     report    compare two ledgers/manifests/baselines, exit 2 on regression
 
    Every subcommand accepts --trace FILE (Chrome trace-event JSON, loadable
-   in chrome://tracing or Perfetto) and --metrics FILE (flat metrics JSON);
-   either flag switches the Obs layer on for the run. *)
+   in chrome://tracing or Perfetto), --metrics FILE (flat metrics JSON),
+   --flame FILE (collapsed stacks for flamegraph.pl) and --ledger FILE
+   (append a migsyn-run/1 manifest to a JSON-lines run ledger; also set by
+   $MIGSYN_LEDGER); any of them switches the Obs layer on for the run. *)
 
 open Cmdliner
 
 (* ---------------- observability plumbing ---------------- *)
 
-let trace_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Write a Chrome trace-event JSON of this run (open in \
-           chrome://tracing or https://ui.perfetto.dev). Enables the \
-           observability layer.")
+type obs_opts = {
+  o_trace : string option;
+  o_metrics : string option;
+  o_flame : string option;
+  o_flame_weight : [ `Time_us | `Calls ];
+  o_ledger : string option;
+}
 
-let metrics_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "metrics" ] ~docv:"FILE"
-        ~doc:
-          "Write a flat metrics JSON (counters, gauges, histograms, \
-           optimization trajectories, span aggregates) of this run. \
-           Enables the observability layer.")
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of this run (open in \
+             chrome://tracing or https://ui.perfetto.dev). Enables the \
+             observability layer.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a flat metrics JSON (counters, gauges, histograms, \
+             optimization trajectories, span aggregates) of this run. \
+             Enables the observability layer.")
+  in
+  let flame_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Write the aggregated span tree in the collapsed-stack format \
+             flamegraph.pl consumes (one 'a;b;c weight' line per span \
+             path). Enables the observability layer.")
+  in
+  let flame_weight_arg =
+    Arg.(
+      value
+      & opt (enum [ ("time", `Time_us); ("calls", `Calls) ]) `Time_us
+      & info [ "flame-weight" ] ~docv:"W"
+          ~doc:
+            "Collapsed-stack weight: $(b,time) (exclusive self time in \
+             microseconds, the flame view) or $(b,calls) (call counts — \
+             deterministic, byte-identical for every --jobs).")
+  in
+  let ledger_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~env:(Cmd.Env.info "MIGSYN_LEDGER")
+          ~doc:
+            "Append a self-describing run manifest (schema migsyn-run/1: \
+             subcommand, argv, context, results, span tree, counters, \
+             histogram summaries) to this JSON-lines run ledger. Enables \
+             the observability layer. Compare ledgers with $(b,migsyn \
+             report).")
+  in
+  let make o_trace o_metrics o_flame o_flame_weight o_ledger =
+    { o_trace; o_metrics; o_flame; o_flame_weight; o_ledger }
+  in
+  Term.(
+    const make $ trace_arg $ metrics_arg $ flame_arg $ flame_weight_arg
+    $ ledger_arg)
 
-(* Run [f] with the Obs layer switched on when either export flag was
-   given, and write the requested artifacts even if [f] fails partway. *)
-let with_obs trace metrics f =
-  if trace <> None || metrics <> None then begin
+let write_text path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
+
+(* Run [f] with the Obs layer switched on when any export flag was given,
+   and write the requested artifacts even if [f] fails partway.  The run
+   manifest is started whenever the layer is on (the profile subcommand
+   enables it with no flags), so `--ledger` always records a complete
+   record — including for failed runs, which is when the ledger is most
+   interesting. *)
+let with_obs ~sub opts f =
+  if
+    opts.o_trace <> None || opts.o_metrics <> None || opts.o_flame <> None
+    || opts.o_ledger <> None
+  then begin
     Obs.set_enabled true;
     Obs.reset ()
   end;
+  if Obs.enabled () then
+    Obs.Manifest.start ~tool:"migsyn" ~subcommand:sub
+      ~argv:(Array.to_list Sys.argv) ();
   let export () =
-    (match trace with
+    (match opts.o_trace with
     | Some path ->
         Obs.write_json path (Obs.chrome_trace_json ());
         Format.printf "wrote trace %s@." path
     | None -> ());
-    match metrics with
+    (match opts.o_metrics with
     | Some path ->
         Obs.write_json path (Obs.metrics_json ());
         Format.printf "wrote metrics %s@." path
+    | None -> ());
+    (match opts.o_flame with
+    | Some path ->
+        write_text path (Obs.collapsed_stacks ~weight:opts.o_flame_weight ());
+        Format.printf "wrote flame %s@." path
+    | None -> ());
+    match opts.o_ledger with
+    | Some path ->
+        Obs.Ledger.append path (Obs.Manifest.finish ());
+        Format.printf "appended run to %s@." path
     | None -> ()
   in
   match f () with
@@ -63,6 +139,9 @@ let with_obs trace metrics f =
   | exception e ->
       export ();
       raise e
+
+let ctx = Obs.Manifest.add_context
+let res = Obs.Manifest.add_result
 
 let parse_netlist path =
   let wrap line msg = failwith (Printf.sprintf "%s:%d: %s" path line msg) in
@@ -145,8 +224,9 @@ let resolve_jobs n = Par.resolve_jobs (if n <= 0 then None else Some n)
 (* ---------------- stats ---------------- *)
 
 let stats_cmd =
-  let run trace metrics path =
-    with_obs trace metrics @@ fun () ->
+  let run obs path =
+    with_obs ~sub:"stats" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
     let net = parse_netlist path in
     Format.printf "network: %a@." Logic.Network.pp_stats net;
     let mig = Core.Mig_of_network.convert net in
@@ -168,7 +248,7 @@ let stats_cmd =
       (Core.Rram_cost.of_mig Core.Rram_cost.Maj mig)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print representation statistics for a netlist")
-    Term.(const run $ trace_arg $ metrics_arg $ input_arg)
+    Term.(const run $ obs_term $ input_arg)
 
 (* ---------------- optimize ---------------- *)
 
@@ -178,8 +258,11 @@ let optimize_cmd =
       value & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the optimized MIG as BLIF.")
   in
-  let run trace metrics path alg effort out =
-    with_obs trace metrics @@ fun () ->
+  let run obs path alg effort out =
+    with_obs ~sub:"optimize" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "algorithm" (Obs.Json.String (Core.Mig_opt.algorithm_name alg));
+    ctx "effort" (Obs.Json.Int effort);
     let net = parse_netlist path in
     let mig = Core.Mig_of_network.convert net in
     let before_imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp mig in
@@ -188,6 +271,11 @@ let optimize_cmd =
       failwith "internal error: optimization changed the function";
     let imp = Core.Rram_cost.of_mig Core.Rram_cost.Imp optimized in
     let maj = Core.Rram_cost.of_mig Core.Rram_cost.Maj optimized in
+    res "gates" (Obs.Json.Int (Core.Mig.size optimized));
+    res "imp_rrams" (Obs.Json.Int imp.Core.Rram_cost.rrams);
+    res "imp_steps" (Obs.Json.Int imp.Core.Rram_cost.steps);
+    res "maj_rrams" (Obs.Json.Int maj.Core.Rram_cost.rrams);
+    res "maj_steps" (Obs.Json.Int maj.Core.Rram_cost.steps);
     Format.printf "%s (effort %d): %a@." (Core.Mig_opt.algorithm_name alg) effort
       Core.Mig.pp_stats optimized;
     Format.printf "  IMP %a (initial %a)@." Core.Rram_cost.pp imp Core.Rram_cost.pp
@@ -201,9 +289,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a netlist with one of the paper's algorithms")
-    Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
-      $ out_arg)
+    Term.(const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg $ out_arg)
 
 (* ---------------- flow ---------------- *)
 
@@ -307,9 +393,9 @@ let flow_cmd =
         | None -> ())
       Core.Mig_flows.canonical_names
   in
-  let run trace metrics scripts file list portfolio cost effort jobs dump_out
-      no_verify stats input =
-    with_obs trace metrics @@ fun () ->
+  let run obs scripts file list portfolio cost effort jobs dump_out no_verify
+      stats input =
+    with_obs ~sub:"flow" obs @@ fun () ->
     if list then list_passes ()
     else begin
       let script_of_file f =
@@ -319,6 +405,8 @@ let flow_cmd =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       let path = match input with Some p -> p | None -> fail "missing NETLIST argument" in
+      ctx "input" (Obs.Json.String path);
+      ctx "effort" (Obs.Json.Int effort);
       let net = parse_netlist path in
       let mig = Core.Mig_of_network.convert net in
       let before_size, before_depth = Core.Mig_passes.size_and_depth mig in
@@ -335,10 +423,18 @@ let flow_cmd =
             | _ :: _, Some _ -> fail "--script and --file are mutually exclusive"
           in
           let jobs = resolve_jobs jobs in
+          ctx "jobs" (Obs.Json.Int jobs);
+          ctx "portfolio" (Obs.Json.Int (List.length specs));
+          ctx "cost" (Obs.Json.String cost);
           let winner, outcomes =
             try Core.Mig_flows.portfolio ~jobs ~cost specs mig
             with Invalid_argument msg -> fail "%s" msg
           in
+          (match List.find_opt (fun o -> o.Flow.o_winner) outcomes with
+          | Some o ->
+              res "winner" (Obs.Json.String o.Flow.o_label);
+              res "winner_cost" (Obs.Json.Float o.Flow.o_cost)
+          | None -> ());
           Format.printf "portfolio: %d entrants, cost %s, %d worker domain%s@."
             (List.length specs) cost jobs (if jobs = 1 then "" else "s");
           List.iter
@@ -371,6 +467,8 @@ let flow_cmd =
       if not (Core.Mig_equiv.equivalent_network optimized net) then
         failwith "internal error: the flow changed the function";
       let size, depth = Core.Mig_passes.size_and_depth optimized in
+      res "size" (Obs.Json.Int size);
+      res "depth" (Obs.Json.Int depth);
       Format.printf "  MIG: %d -> %d gates, depth %d -> %d@." before_size size
         before_depth depth;
       List.iter
@@ -414,9 +512,9 @@ let flow_cmd =
           race several scripts with --portfolio; --list-passes prints the \
           vocabulary.")
     Term.(
-      const run $ trace_arg $ metrics_arg $ script_arg $ file_arg $ list_arg
-      $ portfolio_arg $ cost_arg $ effort_arg $ jobs_arg $ out_arg
-      $ no_verify_arg $ stats_arg $ input_opt_arg)
+      const run $ obs_term $ script_arg $ file_arg $ list_arg $ portfolio_arg
+      $ cost_arg $ effort_arg $ jobs_arg $ out_arg $ no_verify_arg $ stats_arg
+      $ input_opt_arg)
 
 (* ---------------- map ---------------- *)
 
@@ -427,11 +525,16 @@ let map_cmd =
   let no_verify_arg =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip simulator verification.")
   in
-  let run trace metrics path alg effort realization dump no_verify =
-    with_obs trace metrics @@ fun () ->
+  let run obs path alg effort realization dump no_verify =
+    with_obs ~sub:"map" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "algorithm" (Obs.Json.String (Core.Mig_opt.algorithm_name alg));
+    ctx "effort" (Obs.Json.Int effort);
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let r = Rram.Compile_mig.compile realization mig in
+    res "rrams" (Obs.Json.Int r.Rram.Compile_mig.measured_rrams);
+    res "steps" (Obs.Json.Int r.Rram.Compile_mig.measured_steps);
     Format.printf
       "%a realization after %s optimization:@.  Table I: %a@.  program: %d RRAMs, %d steps@."
       Core.Rram_cost.pp_realization realization (Core.Mig_opt.algorithm_name alg)
@@ -454,14 +557,16 @@ let map_cmd =
   in
   Cmd.v (Cmd.info "map" ~doc:"Compile a netlist to an RRAM program")
     Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg
       $ realization_arg $ dump_arg $ no_verify_arg)
 
 (* ---------------- compare ---------------- *)
 
 let compare_cmd =
-  let run trace metrics path effort =
-    with_obs trace metrics @@ fun () ->
+  let run obs path effort =
+    with_obs ~sub:"compare" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "effort" (Obs.Json.Int effort);
     let net = parse_netlist path in
     let mig = Core.Mig_of_network.convert net in
     let rram_maj = Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj mig in
@@ -494,7 +599,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare the MIG flow against the BDD and AIG baselines")
-    Term.(const run $ trace_arg $ metrics_arg $ input_arg $ effort_arg)
+    Term.(const run $ obs_term $ input_arg $ effort_arg)
 
 (* ---------------- plim ---------------- *)
 
@@ -502,11 +607,14 @@ let plim_cmd =
   let dump_arg =
     Arg.(value & flag & info [ "p"; "program" ] ~doc:"Dump the RM3 instruction stream.")
   in
-  let run trace metrics path alg effort dump =
-    with_obs trace metrics @@ fun () ->
+  let run obs path alg effort dump =
+    with_obs ~sub:"plim" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let c = Rram.Plim.compile mig in
+    res "rm3_instructions" (Obs.Json.Int c.Rram.Plim.instructions);
+    res "cells_used" (Obs.Json.Int c.Rram.Plim.cells_used);
     Format.printf
       "PLiM compilation after %s optimization:@.  %d RM3 instructions, %d cells (%.2f RM3/gate over %d gates)@."
       (Core.Mig_opt.algorithm_name alg) c.Rram.Plim.instructions c.Rram.Plim.cells_used
@@ -519,9 +627,7 @@ let plim_cmd =
   Cmd.v
     (Cmd.info "plim"
        ~doc:"Compile to an RM3 instruction stream for the PLiM computer [15]")
-    Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
-      $ dump_arg)
+    Term.(const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg $ dump_arg)
 
 (* ---------------- export ---------------- *)
 
@@ -544,8 +650,10 @@ let export_cmd =
       required & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
-  let run trace metrics path alg effort fmt out =
-    with_obs trace metrics @@ fun () ->
+  let run obs path alg effort fmt out =
+    with_obs ~sub:"export" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "format" (Obs.Json.String fmt);
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let contents =
@@ -566,8 +674,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Export the optimized MIG as DOT/Verilog/BLIF/bench/AIGER")
     Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
-      $ format_arg $ out_arg)
+      const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg $ format_arg
+      $ out_arg)
 
 (* ---------------- faults ---------------- *)
 
@@ -592,14 +700,18 @@ let faults_cmd =
       & info [ "max-attempts" ] ~docv:"N"
           ~doc:"Verification rounds of the resilient executor's remap/retry loop.")
   in
-  let run trace metrics path alg effort realization rate trials seed attempts =
+  let run obs path alg effort realization rate trials seed attempts =
     if not (Float.is_finite rate && rate >= 0.0 && rate <= 1.0) then
       failwith (Printf.sprintf "--rate must be a probability in [0, 1] (got %g)" rate);
     if trials < 1 then
       failwith (Printf.sprintf "--trials must be at least 1 (got %d)" trials);
     if attempts < 1 then
       failwith (Printf.sprintf "--max-attempts must be at least 1 (got %d)" attempts);
-    with_obs trace metrics @@ fun () ->
+    with_obs ~sub:"faults" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "rate" (Obs.Json.Float rate);
+    ctx "trials" (Obs.Json.Int trials);
+    ctx "seed" (Obs.Json.Int seed);
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
     let r = Rram.Compile_mig.compile realization mig in
@@ -680,7 +792,7 @@ let faults_cmd =
          "Fault-tolerance experiment: repair a stuck-at defect by remapping, and \
           compare Monte-Carlo yield of baseline vs resilient vs TMR execution")
     Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg
       $ realization_arg $ rate_arg $ trials_arg $ seed_arg $ attempts_arg)
 
 (* ---------------- montecarlo ---------------- *)
@@ -729,8 +841,8 @@ let montecarlo_cmd =
       & info [ "max-attempts" ] ~docv:"N"
           ~doc:"Verification rounds of the resilient controller's remap/retry loop.")
   in
-  let run trace metrics path alg effort realization trials sigmas seed jobs json
-      vectors attempts =
+  let run obs path alg effort realization trials sigmas seed jobs json vectors
+      attempts =
     let config =
       {
         default with
@@ -746,9 +858,27 @@ let montecarlo_cmd =
       }
     in
     (match validate config with Ok () -> () | Error e -> failwith e);
-    with_obs trace metrics @@ fun () ->
+    with_obs ~sub:"montecarlo" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "trials" (Obs.Json.Int config.trials);
+    ctx "seed" (Obs.Json.Int config.seed);
+    ctx "jobs" (Obs.Json.Int (Option.value config.jobs ~default:1));
+    ctx "sigmas"
+      (Obs.Json.List (List.map (fun s -> Obs.Json.Float s) config.sigmas));
     let net = parse_netlist path in
     let campaign = run ~config ~name:(Filename.basename path) net in
+    (* Manifest summary: per-sigma yield of every arm — the campaign's
+       deterministic signature, comparable across runs by migsyn report. *)
+    res "universe" (Obs.Json.Int campaign.universe);
+    List.iter
+      (fun p ->
+        List.iter
+          (fun a ->
+            res
+              (Printf.sprintf "yield.sigma=%g.%s" p.sigma a.arm)
+              (Obs.Json.Float a.estimate.yield))
+          p.arms)
+      campaign.points;
     Format.printf "%a@." pp campaign;
     match json with
     | None -> ()
@@ -766,7 +896,7 @@ let montecarlo_cmd =
           remapping) and TMR, with Wilson 95% confidence intervals. \
           Bit-reproducible for any --jobs at a fixed --seed.")
     Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg
       $ realization_arg $ trials_arg $ sigma_arg $ seed_arg $ jobs_arg $ json_arg
       $ vectors_arg $ attempts_arg)
 
@@ -787,11 +917,13 @@ let profile_cmd =
             "Optimize with a flow script instead of the named algorithm \
              (see $(b,migsyn flow --list-passes)).")
   in
-  let run trace metrics path alg effort realization max_vectors flow_script =
+  let run obs path alg effort realization max_vectors flow_script =
     (* profile always observes, with or without export flags *)
     Obs.set_enabled true;
     Obs.reset ();
-    with_obs trace metrics @@ fun () ->
+    with_obs ~sub:"profile" obs @@ fun () ->
+    ctx "input" (Obs.Json.String path);
+    ctx "effort" (Obs.Json.Int effort);
     let flow =
       Option.map
         (fun text ->
@@ -816,6 +948,8 @@ let profile_cmd =
     let size, depth =
       (Core.Mig.size optimized, (Core.Mig_levels.compute optimized).Core.Mig_levels.depth)
     in
+    res "size" (Obs.Json.Int size);
+    res "depth" (Obs.Json.Int depth);
     let compiled =
       Obs.with_span ~cat:"profile" "profile/compile" (fun () ->
           Rram.Compile_mig.compile realization optimized)
@@ -857,7 +991,7 @@ let profile_cmd =
           layer on and print a timing/counter report. Combine with --trace and \
           --metrics for machine-readable output.")
     Term.(
-      const run $ trace_arg $ metrics_arg $ input_arg $ algorithm_arg $ effort_arg
+      const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg
       $ realization_arg $ vectors_arg $ flow_arg)
 
 (* ---------------- bench ---------------- *)
@@ -866,8 +1000,10 @@ let bench_cmd =
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmark names.")
   in
-  let run trace metrics effort jobs names =
-    with_obs trace metrics @@ fun () ->
+  let run obs effort jobs names =
+    with_obs ~sub:"bench" obs @@ fun () ->
+    ctx "effort" (Obs.Json.Int effort);
+    ctx "jobs" (Obs.Json.Int (resolve_jobs jobs));
     let entries =
       match names with
       | [] -> Io.Benchmarks.table2
@@ -888,7 +1024,112 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's Table II flow for named benchmarks")
-    Term.(const run $ trace_arg $ metrics_arg $ effort_arg $ jobs_arg $ names_arg)
+    Term.(const run $ obs_term $ effort_arg $ jobs_arg $ names_arg)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let baseline_arg =
+    Arg.(
+      required & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline source: a run ledger, a run manifest, or a committed \
+             baseline document (BENCH_opt.json, MONTECARLO_golden.json, a \
+             bench --json profile).")
+  in
+  let current_arg =
+    Arg.(
+      required & opt (some file) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:"Current source to judge against the baseline (same formats).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:
+            "Relative slow-down a wall-time metric may show before it \
+             counts as a regression (0.25 = 25%). Deterministic metrics \
+             always compare exactly.")
+  in
+  let min_time_arg =
+    Arg.(
+      value & opt float 0.005
+      & info [ "min-time" ] ~docv:"SECONDS"
+          ~doc:
+            "Absolute floor under which wall-time deltas are ignored \
+             (scaled to nanoseconds for *_ns metrics): microsecond jitter \
+             on a microsecond pass is not signal.")
+  in
+  let ignore_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"METRIC"
+          ~doc:
+            "Drop this metric from the comparison (repeatable), e.g. \
+             $(b,--ignore seconds) when diffing a parallel run against a \
+             sequential one for determinism only.")
+  in
+  let md_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "md" ] ~docv:"FILE" ~doc:"Also write the Markdown report to FILE.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON (schema migsyn-report/1).")
+  in
+  let run obs baseline current threshold min_time ignores md json =
+    if not (Float.is_finite threshold) || threshold < 0.0 then
+      failwith
+        (Printf.sprintf "--threshold must be finite and non-negative (got %g)"
+           threshold);
+    if not (Float.is_finite min_time) || min_time < 0.0 then
+      failwith
+        (Printf.sprintf "--min-time must be finite and non-negative (got %g)"
+           min_time);
+    let code =
+      with_obs ~sub:"report" obs @@ fun () ->
+      ctx "baseline" (Obs.Json.String baseline);
+      ctx "current" (Obs.Json.String current);
+      let report =
+        Exp.Report.compare ~threshold ~min_time ~ignore_metrics:ignores
+          ~baseline:(Exp.Report.load baseline) ~current:(Exp.Report.load current)
+          ()
+      in
+      print_string (Exp.Report.to_markdown report);
+      res "verdict"
+        (Obs.Json.String (if Exp.Report.regressed report then "regressed" else "ok"));
+      res "regressions"
+        (Obs.Json.Int (List.length report.Exp.Report.rp_regressions));
+      (match md with
+      | Some file ->
+          write_text file (Exp.Report.to_markdown report);
+          Format.printf "wrote report %s@." file
+      | None -> ());
+      (match json with
+      | Some file ->
+          Obs.write_json file (Exp.Report.to_json report);
+          Format.printf "wrote report %s@." file
+      | None -> ());
+      Exp.Report.exit_code report
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Compare two run ledgers, run manifests or committed baseline \
+          documents row by row: deterministic metrics must match exactly, \
+          wall times may drift within --threshold. Prints a Markdown \
+          report and exits 2 on regression, 1 on usage errors, 0 \
+          otherwise.")
+    Term.(
+      const run $ obs_term $ baseline_arg $ current_arg $ threshold_arg
+      $ min_time_arg $ ignore_arg $ md_arg $ json_arg)
 
 let subcommands =
   [
@@ -903,6 +1144,7 @@ let subcommands =
     faults_cmd;
     montecarlo_cmd;
     profile_cmd;
+    report_cmd;
   ]
 
 let () =

@@ -31,6 +31,7 @@ let paper_t3 (e : Io.Benchmarks.entry) =
   | Io.Benchmarks.Table2_ref _ -> invalid_arg "not a Table III entry"
 
 let table2_row ?effort (e : Io.Benchmarks.entry) =
+  Obs.with_span ~cat:"exp" ("exp/table2/" ^ e.Io.Benchmarks.name) @@ fun () ->
   let net = e.Io.Benchmarks.build () in
   let mig = Core.Mig_of_network.convert net in
   let cost realization m = Core.Rram_cost.of_mig realization m in
@@ -142,6 +143,7 @@ type bdd_row = {
 }
 
 let table3_bdd_row ?effort ?(bdd_max_nodes = 2_000_000) (e : Io.Benchmarks.entry) =
+  Obs.with_span ~cat:"exp" ("exp/table3_bdd/" ^ e.Io.Benchmarks.name) @@ fun () ->
   let net = e.Io.Benchmarks.build () in
   let perm = Bdd_lib.Bdd_order.order Bdd_lib.Bdd_order.Dfs net in
   let built = Bdd_lib.Bdd_of_network.build ~max_nodes:bdd_max_nodes ~perm net in
@@ -226,6 +228,7 @@ type aig_row = {
 }
 
 let table3_aig_row ?effort (e : Io.Benchmarks.entry) =
+  Obs.with_span ~cat:"exp" ("exp/table3_aig/" ^ e.Io.Benchmarks.name) @@ fun () ->
   let net = e.Io.Benchmarks.build () in
   let aig =
     Aig_lib.Aig_balance.balance (Aig_lib.Aig_rewrite.rewrite (Aig_lib.Aig_of_network.convert net))
@@ -307,6 +310,7 @@ type profile_row = {
 }
 
 let profile_row ?effort ?flows (e : Io.Benchmarks.entry) =
+  Obs.with_span ~cat:"exp" ("exp/profile/" ^ e.Io.Benchmarks.name) @@ fun () ->
   let flows = match flows with Some fs -> fs | None -> default_flows ?effort () in
   let mig = Core.Mig_of_network.convert (e.Io.Benchmarks.build ()) in
   let initial_size, initial_depth = Core.Mig_passes.size_and_depth mig in

@@ -54,8 +54,17 @@ let changed_run ~ops ?(span_prefix = "flow") ?name flow g =
   in
   let rec exec ~name ~cycle g = function
     | Pass p ->
-        Obs.with_span ~cat:span_prefix (span_prefix ^ "/pass/" ^ p.name)
-          (fun () -> p.run ~cycle g)
+        (* one span per pass invocation, named after the registry entry, so
+           the span tree and collapsed stacks attribute time pass-by-pass *)
+        let g, changed =
+          Obs.with_span ~cat:span_prefix
+            ~args:[ ("category", Obs.Json.String p.category) ]
+            (span_prefix ^ "/pass/" ^ p.name)
+            (fun () -> p.run ~cycle g)
+        in
+        if changed then
+          Obs.incr (Obs.counter (span_prefix ^ "/pass/" ^ p.name ^ ".changed"));
+        (g, changed)
     | Seq fs ->
         (* Run every element: later passes profit from the partial progress
            of earlier ones, so there is deliberately no short-circuiting. *)

@@ -36,6 +36,7 @@ type span_event = {
   e_name : string;
   e_cat : string;
   e_tid : int;  (* owning domain id *)
+  e_path : string list;  (* root-first enclosing spans, [e_name] last *)
   e_start : int64;
   e_dur : int64;
   e_args : (string * Json.t) list;
@@ -55,6 +56,8 @@ type store = {
   histograms_tbl : (string, histogram) Hashtbl.t;
   series_tbl : (string, series) Hashtbl.t;
   mutable events : span_event list;
+  (* innermost-first names of the spans currently open on this domain *)
+  mutable span_stack : string list;
 }
 
 let fresh_store () =
@@ -64,6 +67,7 @@ let fresh_store () =
     histograms_tbl = Hashtbl.create 16;
     series_tbl = Hashtbl.create 16;
     events = [];
+    span_stack = [];
   }
 
 let global_store = fresh_store ()
@@ -137,6 +141,22 @@ let histogram_buckets h =
   Hashtbl.fold (fun v c acc -> (v, c) :: acc) h.h_buckets []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Exact nearest-rank percentile over the per-value buckets: the smallest
+   observed value whose cumulative count reaches ceil(p/100 * n). *)
+let histogram_percentile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank =
+      max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_count)))
+    in
+    let rec walk cum = function
+      | [] -> float_of_int h.h_max
+      | (v, c) :: rest -> if cum + c >= rank then float_of_int v else walk (cum + c) rest
+    in
+    walk 0 (histogram_buckets h)
+  end
+
 let sample s fields =
   if !enabled_flag then begin
     let s = own_series s in
@@ -154,6 +174,7 @@ let emit_span ?(cat = "") ?(args = []) name ~t0 =
         e_name = name;
         e_cat = cat;
         e_tid = (Domain.self () :> int);
+        e_path = List.rev (name :: st.span_stack);
         e_start = t0;
         e_dur = Int64.sub t1 t0;
         e_args = args;
@@ -164,14 +185,41 @@ let emit_span ?(cat = "") ?(args = []) name ~t0 =
 let with_span ?cat ?args name f =
   if not !enabled_flag then f ()
   else begin
+    let st = store () in
     let t0 = now_ns () in
+    st.span_stack <- name :: st.span_stack;
+    let pop () =
+      (* the event's own path is stack + name, so pop before emitting *)
+      match st.span_stack with
+      | top :: rest when top == name -> st.span_stack <- rest
+      | stack ->
+          (* a nested reset dropped the stack; don't corrupt what's left *)
+          st.span_stack <- stack
+    in
     match f () with
     | v ->
+        pop ();
         emit_span ?cat ?args name ~t0;
         v
     | exception e ->
+        pop ();
         emit_span ?cat ?args name ~t0;
         raise e
+  end
+
+(* Run [f] with the calling domain's span stack cleared, so the spans it
+   records are rooted at top level no matter where the call site sits.  The
+   [Par] pool wraps every task in this: a task inlined on the main domain
+   (jobs = 1) and the same task on a worker then record identical paths,
+   which is what makes the collapsed-stack export identical for every
+   [--jobs]. *)
+let with_task_root f =
+  if not !enabled_flag then f ()
+  else begin
+    let st = store () in
+    let saved = st.span_stack in
+    st.span_stack <- [];
+    Fun.protect ~finally:(fun () -> (store ()).span_stack <- saved) f
   end
 
 let reset () =
@@ -192,6 +240,7 @@ let reset () =
     st.histograms_tbl;
   Hashtbl.iter (fun _ s -> s.s_samples <- []) st.series_tbl;
   st.events <- [];
+  st.span_stack <- [];
   epoch := now_ns ()
 
 (* ------------------------------------------------------------------ *)
@@ -265,18 +314,145 @@ let counters () =
     (fun n -> (n, (Hashtbl.find st.counters_tbl n).c_count))
     (sorted_names st.counters_tbl)
 
-type span_stat = { st_count : int; st_total : int64 }
+(* ------------------------------------------------------------------ *)
+(* Span tree                                                           *)
+(* ------------------------------------------------------------------ *)
 
+type span_node = {
+  sn_name : string;
+  sn_path : string list;
+  sn_count : int;
+  sn_total_ns : int64;  (* inclusive: wall time with children *)
+  sn_self_ns : int64;  (* exclusive: inclusive minus direct children *)
+  sn_children : span_node list;  (* sorted by name *)
+}
+
+let parent_path path =
+  match List.rev path with [] | [ _ ] -> None | _ :: rev -> Some (List.rev rev)
+
+(* Aggregate the recorded events into a forest keyed by full span path.
+   Implicit nodes (a prefix that never completed as an event of its own,
+   e.g. a span still open at export time) get count 0 and inherit their
+   children's total, so inclusive >= exclusive holds everywhere. *)
+let span_tree () =
+  let agg : (string list, int * int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let c, t = Option.value ~default:(0, 0L) (Hashtbl.find_opt agg e.e_path) in
+      Hashtbl.replace agg e.e_path (c + 1, Int64.add t e.e_dur))
+    (store ()).events;
+  (* prefix-close the path set and record parent -> children edges *)
+  let known : (string list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let children : (string list, string list list) Hashtbl.t = Hashtbl.create 64 in
+  let rec close path =
+    if not (Hashtbl.mem known path) then begin
+      Hashtbl.replace known path ();
+      match parent_path path with
+      | None -> ()
+      | Some parent ->
+          Hashtbl.replace children parent
+            (path :: Option.value ~default:[] (Hashtbl.find_opt children parent));
+          close parent
+    end
+  in
+  Hashtbl.iter (fun path _ -> close path) agg;
+  let rec build path =
+    let count, total = Option.value ~default:(0, 0L) (Hashtbl.find_opt agg path) in
+    let kids =
+      Option.value ~default:[] (Hashtbl.find_opt children path)
+      |> List.sort_uniq compare |> List.map build
+    in
+    let kids_total =
+      List.fold_left (fun acc k -> Int64.add acc k.sn_total_ns) 0L kids
+    in
+    let total = if count = 0 then kids_total else total in
+    {
+      sn_name = (match List.rev path with n :: _ -> n | [] -> "");
+      sn_path = path;
+      sn_count = count;
+      sn_total_ns = total;
+      sn_self_ns = Int64.max 0L (Int64.sub total kids_total);
+      sn_children = kids;
+    }
+  in
+  Hashtbl.fold (fun path _ acc -> match path with [ _ ] -> path :: acc | _ -> acc) known []
+  |> List.sort_uniq compare |> List.map build
+
+let rec fold_span_tree f acc node =
+  List.fold_left (fold_span_tree f) (f acc node) node.sn_children
+
+(* flamegraph.pl-compatible collapsed stacks: one "a;b;c WEIGHT" line per
+   path, lexicographically sorted.  [`Calls] weights by call count and is
+   fully deterministic for a deterministic workload — byte-identical for
+   every --jobs (the CI pins this); [`Time_us] weights by exclusive self
+   time in microseconds, the usual flame-graph view. *)
+let collapsed_stacks ?(weight = `Time_us) () =
+  let lines =
+    List.fold_left
+      (fun acc root ->
+        fold_span_tree
+          (fun acc n ->
+            let w =
+              match weight with
+              | `Calls -> n.sn_count
+              | `Time_us -> Int64.to_int (Int64.div n.sn_self_ns 1_000L)
+            in
+            if w <= 0 then acc
+            else Printf.sprintf "%s %d" (String.concat ";" n.sn_path) w :: acc)
+          acc root)
+      [] (span_tree ())
+  in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    (List.sort compare lines);
+  Buffer.contents buf
+
+let rec span_node_json n =
+  Json.Assoc
+    (("name", Json.String n.sn_name)
+     :: ("count", Json.Int n.sn_count)
+     :: ("total_ns", Json.Int (Int64.to_int n.sn_total_ns))
+     :: ("self_ns", Json.Int (Int64.to_int n.sn_self_ns))
+     ::
+     (if n.sn_children = [] then []
+      else [ ("children", Json.List (List.map span_node_json n.sn_children)) ]))
+
+let span_tree_json () = Json.List (List.map span_node_json (span_tree ()))
+
+type span_stat = { st_count : int; st_total : int64; st_self : int64 }
+
+(* Flat per-name aggregates (metrics export, pp_report): totals by event,
+   self time by summing the tree nodes that end in the name. *)
 let span_stats () =
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun e ->
       let prev =
-        Option.value ~default:{ st_count = 0; st_total = 0L } (Hashtbl.find_opt tbl e.e_name)
+        Option.value
+          ~default:{ st_count = 0; st_total = 0L; st_self = 0L }
+          (Hashtbl.find_opt tbl e.e_name)
       in
       Hashtbl.replace tbl e.e_name
-        { st_count = prev.st_count + 1; st_total = Int64.add prev.st_total e.e_dur })
+        {
+          prev with
+          st_count = prev.st_count + 1;
+          st_total = Int64.add prev.st_total e.e_dur;
+        })
     (store ()).events;
+  List.iter
+    (fun root ->
+      fold_span_tree
+        (fun () n ->
+          match Hashtbl.find_opt tbl n.sn_name with
+          | None -> ()
+          | Some prev ->
+              Hashtbl.replace tbl n.sn_name
+                { prev with st_self = Int64.add prev.st_self n.sn_self_ns })
+        () root)
+    (span_tree ());
   Hashtbl.fold (fun name st acc -> (name, st) :: acc) tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b.st_total a.st_total)
 
@@ -284,21 +460,29 @@ let span_stats () =
 (* Export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let histogram_json h =
+let histogram_summary_json h =
   let mean = if h.h_count = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_count in
+  [
+    ("count", Json.Int h.h_count);
+    ("sum", Json.Int h.h_sum);
+    ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
+    ("max", Json.Int (if h.h_count = 0 then 0 else h.h_max));
+    ("mean", Json.Float mean);
+    ("p50", Json.Float (histogram_percentile h 50.0));
+    ("p90", Json.Float (histogram_percentile h 90.0));
+    ("p99", Json.Float (histogram_percentile h 99.0));
+  ]
+
+let histogram_json h =
   Json.Assoc
-    [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Int h.h_sum);
-      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
-      ("max", Json.Int (if h.h_count = 0 then 0 else h.h_max));
-      ("mean", Json.Float mean);
-      ( "buckets",
-        Json.List
-          (List.map
-             (fun (v, c) -> Json.List [ Json.Int v; Json.Int c ])
-             (histogram_buckets h)) );
-    ]
+    (histogram_summary_json h
+    @ [
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (v, c) -> Json.List [ Json.Int v; Json.Int c ])
+               (histogram_buckets h)) );
+      ])
 
 let metrics_json () =
   let st = store () in
@@ -341,6 +525,7 @@ let metrics_json () =
                [
                  ("count", Json.Int st.st_count);
                  ("total_ns", Json.Int (Int64.to_int st.st_total));
+                 ("self_ns", Json.Int (Int64.to_int st.st_self));
                  ( "mean_ns",
                    Json.Float
                      (if st.st_count = 0 then 0.0
@@ -431,13 +616,14 @@ let pp_report ppf () =
   let ms i64 = Int64.to_float i64 /. 1.0e6 in
   let spans = span_stats () in
   if spans <> [] then begin
-    Format.fprintf ppf "@[<v>timed spans (by total wall time):@,";
+    Format.fprintf ppf "@[<v>timed spans (by total wall time; self = without children):@,";
     List.iter
       (fun (name, st) ->
-        Format.fprintf ppf "  %-44s %4d call%s  %9.2f ms total  %9.3f ms/call@," name
+        Format.fprintf ppf
+          "  %-44s %4d call%s  %9.2f ms total  %9.2f ms self  %9.3f ms/call@," name
           st.st_count
           (if st.st_count = 1 then " " else "s")
-          (ms st.st_total)
+          (ms st.st_total) (ms st.st_self)
           (ms st.st_total /. float_of_int st.st_count))
       spans;
     Format.fprintf ppf "@]"
@@ -470,9 +656,102 @@ let pp_report ppf () =
     List.iter
       (fun n ->
         let h = Hashtbl.find st.histograms_tbl n in
-        Format.fprintf ppf "  %-44s n=%d min=%d max=%d mean=%.2f@," n h.h_count h.h_min
-          h.h_max
-          (float_of_int h.h_sum /. float_of_int h.h_count))
+        Format.fprintf ppf
+          "  %-44s n=%d min=%d max=%d mean=%.2f p50=%.0f p90=%.0f p99=%.0f@," n
+          h.h_count h.h_min h.h_max
+          (float_of_int h.h_sum /. float_of_int h.h_count)
+          (histogram_percentile h 50.0) (histogram_percentile h 90.0)
+          (histogram_percentile h 99.0))
       live_hists;
     Format.fprintf ppf "@]"
   end
+
+(* ------------------------------------------------------------------ *)
+(* Run manifests and the on-disk ledger                                *)
+(* ------------------------------------------------------------------ *)
+
+module Manifest = struct
+  type state = {
+    mutable m_tool : string;
+    mutable m_sub : string;
+    mutable m_argv : string list;
+    mutable m_t0 : int64;
+    mutable m_context : (string * Json.t) list;  (* reversed *)
+    mutable m_results : (string * Json.t) list;  (* reversed *)
+  }
+
+  let state =
+    { m_tool = "migsyn"; m_sub = ""; m_argv = []; m_t0 = 0L; m_context = []; m_results = [] }
+
+  let start ~tool ~subcommand ?(argv = []) () =
+    state.m_tool <- tool;
+    state.m_sub <- subcommand;
+    state.m_argv <- argv;
+    state.m_t0 <- now_ns ();
+    state.m_context <- [];
+    state.m_results <- []
+
+  let add_context key json = state.m_context <- (key, json) :: state.m_context
+  let add_result key json = state.m_results <- (key, json) :: state.m_results
+
+  let finish () =
+    let st = store () in
+    let wall =
+      Int64.to_float (Int64.sub (now_ns ()) state.m_t0) /. 1e9
+    in
+    let counters_json =
+      Json.Assoc
+        (List.filter_map
+           (fun (n, c) -> if c = 0 then None else Some (n, Json.Int c))
+           (counters ()))
+    in
+    let histograms_json =
+      Json.Assoc
+        (List.filter_map
+           (fun n ->
+             let h = Hashtbl.find st.histograms_tbl n in
+             if h.h_count = 0 then None
+             else Some (n, Json.Assoc (histogram_summary_json h)))
+           (sorted_names st.histograms_tbl))
+    in
+    Json.Assoc
+      [
+        ("schema", Json.String "migsyn-run/1");
+        ("tool", Json.String state.m_tool);
+        ("subcommand", Json.String state.m_sub);
+        ("argv", Json.List (List.map (fun a -> Json.String a) state.m_argv));
+        ("wall_seconds", Json.Float wall);
+        ("context", Json.Assoc (List.rev state.m_context));
+        ("results", Json.Assoc (List.rev state.m_results));
+        ("spans", span_tree_json ());
+        ("counters", counters_json);
+        ("histograms", histograms_json);
+      ]
+end
+
+module Ledger = struct
+  let append path json =
+    let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string ~pretty:false json);
+        output_char oc '\n')
+
+  let load path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop lineno acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line when String.trim line = "" -> loop (lineno + 1) acc
+          | line -> (
+              match Json.of_string line with
+              | json -> loop (lineno + 1) (json :: acc)
+              | exception Json.Parse_error msg ->
+                  failwith (Printf.sprintf "%s:%d: %s" path lineno msg))
+        in
+        loop 1 [])
+end

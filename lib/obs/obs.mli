@@ -84,6 +84,13 @@ val histogram_count : histogram -> int
 val histogram_buckets : histogram -> (int * int) list
 (** [(value, occurrences)] sorted by value. *)
 
+val histogram_percentile : histogram -> float -> float
+(** [histogram_percentile h p] is the exact nearest-rank [p]-th percentile
+    ([p] clamped to [0, 100]) of the observed values: the smallest value
+    whose cumulative count reaches [ceil (p/100 * n)].  [0.0] on an empty
+    histogram.  The flat metrics export includes p50/p90/p99 of every
+    histogram. *)
+
 (** {1 Series}
 
     Named trajectories: ordered samples of labeled numeric fields, e.g. the
@@ -98,16 +105,64 @@ val sample : series -> (string * float) list -> unit
 val samples : series -> (string * float) list list
 (** In chronological order. *)
 
-(** {1 Spans} *)
+(** {1 Spans}
+
+    Spans nest: each recorded event remembers the names of the spans open
+    {e on its domain} when it closed, root-first — its {e path}.  The path
+    is what the {!span_tree} aggregation, the collapsed-stack export and
+    the run manifests consume. *)
 
 val with_span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** Time [f] and record a complete event.  When disabled this is just
-    [f ()].  The event is recorded even when [f] raises. *)
+    [f ()].  The event is recorded even when [f] raises.  The span is
+    pushed on the calling domain's stack for the duration of [f], so spans
+    recorded inside [f] nest under it. *)
 
 val emit_span : ?cat:string -> ?args:(string * Json.t) list -> string -> t0:int64 -> unit
 (** Record a complete event that started at monotonic time [t0] and ends
     now — for call sites that compute their [args] during the timed region.
-    No-op when disabled. *)
+    The event nests under the spans currently open.  No-op when disabled. *)
+
+val with_task_root : (unit -> 'a) -> 'a
+(** Run [f] with the calling domain's span stack cleared (and restored
+    afterwards), so spans recorded by [f] are rooted at top level.  The
+    {!Par} pool wraps every task in this: a task inlined on the main domain
+    ([jobs = 1]) records the same paths as on a worker, making the
+    span-tree aggregation independent of the worker count. *)
+
+(** {1 Span-tree aggregation} *)
+
+type span_node = {
+  sn_name : string;  (** last element of [sn_path] *)
+  sn_path : string list;  (** root-first span names, [sn_name] last *)
+  sn_count : int;  (** completed events at exactly this path *)
+  sn_total_ns : int64;  (** inclusive wall time (children included) *)
+  sn_self_ns : int64;  (** exclusive self time (direct children removed) *)
+  sn_children : span_node list;  (** sorted by name *)
+}
+
+val span_tree : unit -> span_node list
+(** The recorded events aggregated by path into a forest (roots sorted by
+    name).  Invariants: [sn_total_ns >= sn_self_ns >= 0], and a parent's
+    inclusive time is at least the sum of its children's.  A path prefix
+    that never completed as an event of its own (a span still open at
+    export time) appears with [sn_count = 0] and its children's total. *)
+
+val fold_span_tree : ('a -> span_node -> 'a) -> 'a -> span_node -> 'a
+(** Pre-order fold over a node and its descendants. *)
+
+val collapsed_stacks : ?weight:[ `Calls | `Time_us ] -> unit -> string
+(** The span forest in the collapsed-stack format flamegraph.pl consumes:
+    one ["a;b;c WEIGHT\n"] line per path, lexicographically sorted, zero
+    weights dropped.  [`Time_us] (default) weights by exclusive self time
+    in microseconds; [`Calls] weights by call count, which is deterministic
+    for a deterministic workload — byte-identical output for every
+    [--jobs] (the CI and test suite pin this). *)
+
+val span_tree_json : unit -> Json.t
+(** {!span_tree} as nested objects
+    [{name; count; total_ns; self_ns; children?}] — the ["spans"] member of
+    a run manifest. *)
 
 (** {1 Worker-domain buffers}
 
@@ -146,5 +201,50 @@ val write_json : string -> Json.t -> unit
 (** Write [to_string ~pretty:true] plus a trailing newline to a file. *)
 
 val pp_report : Format.formatter -> unit -> unit
-(** Human-readable profile report: span aggregates sorted by total time,
-    then non-zero counters, gauges and histogram summaries. *)
+(** Human-readable profile report: span aggregates (total and exclusive
+    self time) sorted by total time, then non-zero counters, gauges and
+    histogram summaries with p50/p90/p99. *)
+
+(** {1 Run manifests}
+
+    A {e run manifest} is the self-describing record of one tool run —
+    schema ["migsyn-run/1"]: tool, subcommand, full argv, wall time, a
+    caller-supplied context (seeds, jobs, circuit, flags), caller-supplied
+    results (costs, campaign summaries), the span tree, non-zero counters
+    and histogram summaries.  The CLI builds one per run when [--ledger]
+    is given and appends it to a JSON-lines ledger; [migsyn report]
+    compares ledgers and manifests against each other or against the
+    committed baselines. *)
+
+module Manifest : sig
+  val start : tool:string -> subcommand:string -> ?argv:string list -> unit -> unit
+  (** Begin a run record: note the start time and clear any context or
+      results of a previous run.  Call once, before the timed work. *)
+
+  val add_context : string -> Json.t -> unit
+  (** Attach an input-side fact (seed, jobs, effort, circuit...). *)
+
+  val add_result : string -> Json.t -> unit
+  (** Attach an output-side fact (final costs, campaign summary...). *)
+
+  val finish : unit -> Json.t
+  (** The completed ["migsyn-run/1"] record.  Deterministic except
+      ["wall_seconds"] and any caller-supplied timing fields. *)
+end
+
+(** {1 The run ledger}
+
+    An append-only JSON-lines file: one compact run manifest per line.
+    Appends are atomic enough for sequential runs (one [open; write;
+    close] per record); the format is greppable and trivially mergeable. *)
+
+module Ledger : sig
+  val append : string -> Json.t -> unit
+  (** Append one record (compact JSON + newline), creating the file if
+      needed. *)
+
+  val load : string -> Json.t list
+  (** All records, in file order; blank lines are skipped.
+      @raise Failure ["file:line: message"] on a malformed line,
+      [Sys_error] if unreadable. *)
+end

@@ -82,8 +82,12 @@ let finish task outcome =
   Condition.broadcast task.t_cond;
   Mutex.unlock task.t_mutex
 
+(* Every task records its spans from a clean root (Obs.with_task_root):
+   inlined on the calling domain (jobs = 1) or on a worker, the same task
+   produces the same span paths, so the aggregated span tree — and the
+   collapsed-stack export — is identical for every worker count. *)
 let run_into task f () =
-  match f () with
+  match Obs.with_task_root f with
   | v -> finish task (Done v)
   | exception e -> finish task (Raised (e, Printexc.get_raw_backtrace ()))
 
@@ -141,7 +145,7 @@ let with_pool ?jobs f =
 
 let map ?jobs f xs =
   match max 1 (Option.value jobs ~default:(recommended_jobs ())) with
-  | 1 -> List.map f xs
+  | 1 -> List.map (fun x -> Obs.with_task_root (fun () -> f x)) xs
   | jobs ->
       with_pool ~jobs (fun pool ->
           let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in

@@ -207,6 +207,173 @@ let obs_tests =
         Alcotest.(check int) "zeroed in place" 0 (Obs.count c);
         Obs.incr c;
         Alcotest.(check int) "still records" 1 (Obs.count c));
+    Alcotest.test_case "histogram percentiles are exact nearest-rank" `Quick
+      (fun () ->
+        with_obs_enabled @@ fun () ->
+        let h = Obs.histogram "test/percentiles" in
+        Alcotest.(check (float 0.0)) "empty -> 0" 0.0 (Obs.histogram_percentile h 50.0);
+        List.iter (fun v -> Obs.observe h v) [ 5; 1; 3; 2; 4; 3; 3; 2; 1; 5 ];
+        (* sorted: 1 1 2 2 3 3 3 4 5 5 *)
+        Alcotest.(check (float 0.0)) "p50" 3.0 (Obs.histogram_percentile h 50.0);
+        Alcotest.(check (float 0.0)) "p90" 5.0 (Obs.histogram_percentile h 90.0);
+        Alcotest.(check (float 0.0)) "p99" 5.0 (Obs.histogram_percentile h 99.0);
+        Alcotest.(check (float 0.0)) "p0 clamps to min" 1.0 (Obs.histogram_percentile h 0.0);
+        Alcotest.(check (float 0.0)) "p100 is max" 5.0 (Obs.histogram_percentile h 100.0);
+        Alcotest.(check (float 0.0)) "p10 lands on rank 1" 1.0 (Obs.histogram_percentile h 10.0);
+        let summary = Json.member "test/percentiles" (Json.member "histograms" (Obs.metrics_json ())) in
+        Alcotest.(check (float 0.0)) "p50 exported" 3.0 (Json.to_float (Json.member "p50" summary));
+        Alcotest.(check (float 0.0)) "p99 exported" 5.0 (Json.to_float (Json.member "p99" summary)));
   ]
 
-let () = Alcotest.run "obs" [ ("json", json_tests); ("obs", obs_tests) ]
+(* ------------------------------------------------------------------ *)
+(* Span trees, collapsed stacks, manifests and the run ledger           *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_node_invariants (n : Obs.span_node) =
+  Alcotest.(check bool)
+    (String.concat ";" n.Obs.sn_path ^ ": self >= 0")
+    true
+    (Int64.compare n.Obs.sn_self_ns 0L >= 0);
+  Alcotest.(check bool)
+    (String.concat ";" n.Obs.sn_path ^ ": inclusive >= exclusive")
+    true
+    (Int64.compare n.Obs.sn_total_ns n.Obs.sn_self_ns >= 0);
+  let kids_total =
+    List.fold_left
+      (fun acc k -> Int64.add acc k.Obs.sn_total_ns)
+      0L n.Obs.sn_children
+  in
+  Alcotest.(check bool)
+    (String.concat ";" n.Obs.sn_path ^ ": parent covers children")
+    true
+    (Int64.compare n.Obs.sn_total_ns kids_total >= 0);
+  List.iter check_node_invariants n.Obs.sn_children
+
+let span_tests =
+  [
+    Alcotest.test_case "span tree aggregates by path with invariants" `Quick
+      (fun () ->
+        with_obs_enabled @@ fun () ->
+        for _ = 1 to 2 do
+          Obs.with_span "test/a" (fun () ->
+              Obs.with_span "test/b" (fun () -> ());
+              Obs.with_span "test/b" (fun () -> ());
+              Obs.with_span "test/c" (fun () -> ()))
+        done;
+        let roots = Obs.span_tree () in
+        Alcotest.(check int) "one root" 1 (List.length roots);
+        let a = List.hd roots in
+        Alcotest.(check string) "root name" "test/a" a.Obs.sn_name;
+        Alcotest.(check int) "root count" 2 a.Obs.sn_count;
+        Alcotest.(check int) "two children" 2 (List.length a.Obs.sn_children);
+        let b = List.find (fun n -> n.Obs.sn_name = "test/b") a.Obs.sn_children in
+        let c = List.find (fun n -> n.Obs.sn_name = "test/c") a.Obs.sn_children in
+        Alcotest.(check int) "b count" 4 b.Obs.sn_count;
+        Alcotest.(check int) "c count" 2 c.Obs.sn_count;
+        List.iter check_node_invariants roots;
+        (* the per-name aggregate view also carries self time *)
+        let stats = Json.member "spans" (Obs.metrics_json ()) in
+        Alcotest.(check bool)
+          "self_ns exported" true
+          (Json.member "self_ns" (Json.member "test/a" stats) <> Json.Null));
+    Alcotest.test_case "span stack is clean after an exception" `Quick (fun () ->
+        with_obs_enabled @@ fun () ->
+        (try Obs.with_span "test/raiser" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        Obs.with_span "test/after" (fun () -> ());
+        let roots = List.map (fun n -> n.Obs.sn_name) (Obs.span_tree ()) in
+        Alcotest.(check (list string))
+          "both spans are roots" [ "test/after"; "test/raiser" ] roots);
+    Alcotest.test_case "collapsed stacks identical for jobs 1/2/8" `Quick
+      (fun () ->
+        let stacks jobs =
+          with_obs_enabled @@ fun () ->
+          ignore
+            (Par.map ~jobs
+               (fun i ->
+                 Obs.with_span "test/task" (fun () ->
+                     Obs.with_span
+                       (if i mod 2 = 0 then "test/even" else "test/odd")
+                       (fun () -> i * i)))
+               [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+          Obs.collapsed_stacks ~weight:`Calls ()
+        in
+        let s1 = stacks 1 in
+        Alcotest.(check string) "jobs 2 = jobs 1" s1 (stacks 2);
+        Alcotest.(check string) "jobs 8 = jobs 1" s1 (stacks 8);
+        Alcotest.(check bool)
+          "even branch counted" true
+          (List.mem "test/task;test/even 4" (String.split_on_char '\n' s1));
+        Alcotest.(check bool)
+          "task root counted" true
+          (List.mem "test/task 8" (String.split_on_char '\n' s1)));
+    Alcotest.test_case "time-weighted collapsed stacks drop zero weights" `Quick
+      (fun () ->
+        with_obs_enabled @@ fun () ->
+        Obs.with_span "test/alone" (fun () -> ());
+        String.split_on_char '\n' (Obs.collapsed_stacks ~weight:`Time_us ())
+        |> List.iter (fun line ->
+               if line <> "" then
+                 match String.rindex_opt line ' ' with
+                 | None -> Alcotest.failf "malformed line %S" line
+                 | Some i ->
+                     let w =
+                       int_of_string
+                         (String.sub line (i + 1) (String.length line - i - 1))
+                     in
+                     if w <= 0 then Alcotest.failf "non-positive weight in %S" line));
+    Alcotest.test_case "manifest is a self-describing run record" `Quick
+      (fun () ->
+        with_obs_enabled @@ fun () ->
+        Obs.Manifest.start ~tool:"test" ~subcommand:"unit"
+          ~argv:[ "test"; "unit"; "--flag" ] ();
+        Obs.with_span "test/work" (fun () -> Obs.incr (Obs.counter "test/count"));
+        Obs.Manifest.add_context "seed" (Json.Int 42);
+        Obs.Manifest.add_result "gates" (Json.Int 7);
+        let m = Obs.Manifest.finish () in
+        let m' = Json.of_string (Json.to_string m) in
+        Alcotest.(check bool) "round-trips" true (m = m');
+        Alcotest.(check bool)
+          "schema" true
+          (Json.member "schema" m = Json.String "migsyn-run/1");
+        Alcotest.(check bool)
+          "subcommand" true
+          (Json.member "subcommand" m = Json.String "unit");
+        Alcotest.(check int) "argv kept" 3 (List.length (Json.to_list (Json.member "argv" m)));
+        Alcotest.(check bool)
+          "context" true
+          (Json.member "seed" (Json.member "context" m) = Json.Int 42);
+        Alcotest.(check bool)
+          "results" true
+          (Json.member "gates" (Json.member "results" m) = Json.Int 7);
+        Alcotest.(check bool)
+          "span tree embedded" true
+          (Json.to_list (Json.member "spans" m) <> []);
+        Alcotest.(check bool)
+          "wall time non-negative" true
+          (Json.to_float (Json.member "wall_seconds" m) >= 0.0));
+    Alcotest.test_case "ledger appends and loads records in order" `Quick
+      (fun () ->
+        let path = Filename.temp_file "migsyn_ledger" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        Sys.remove path;
+        let r1 = Json.Assoc [ ("schema", Json.String "migsyn-run/1"); ("n", Json.Int 1) ] in
+        let r2 = Json.Assoc [ ("schema", Json.String "migsyn-run/1"); ("n", Json.Int 2) ] in
+        Obs.Ledger.append path r1;
+        Obs.Ledger.append path r2;
+        Alcotest.(check bool) "round-trip" true (Obs.Ledger.load path = [ r1; r2 ]);
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "not json\n";
+        close_out oc;
+        match Obs.Ledger.load path with
+        | exception Failure msg ->
+            Alcotest.(check bool)
+              "error names file and line" true
+              (String.length msg > String.length path
+              && String.sub msg 0 (String.length path) = path)
+        | _ -> Alcotest.fail "malformed line accepted");
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [ ("json", json_tests); ("obs", obs_tests); ("spans", span_tests) ]
