@@ -189,6 +189,16 @@ let () =
           ("cla64", fun () -> Core.Mig_of_network.convert (Logic.Funcgen.carry_lookahead_adder 64));
         ]
       in
+      (* The large-N tier: seeded Io.Gen synthetics at 10^4 and 10^5 gates.
+         These rows are what catches an accidentally reintroduced quadratic
+         hot path — on bundled circuits (hundreds of gates) an O(n^2) walk
+         is invisible, at 10^5 it is the whole runtime.  The 10^4 tier runs
+         the five paper algorithms; the 10^5 tier runs only the canonical
+         area flow to keep the harness bounded. *)
+      let scale_build gates () =
+        Core.Mig_of_network.convert
+          (Io.Gen.scale_network ~name:(Printf.sprintf "scale%d" gates) ~gates ())
+      in
       let algorithms =
         [
           ("area", fun m -> ignore (Core.Mig_opt.area ~effort m));
@@ -202,14 +212,25 @@ let () =
               (spec.Exp.Experiments.flow_name, fun m -> ignore (Exp.Experiments.run_flow spec m)))
             custom_flows
       in
+      let paper_algorithms =
+        List.filter (fun (alg, _) -> not (String.contains alg '/')) algorithms
+      in
+      let area_only = List.filter (fun (alg, _) -> alg = "area") algorithms in
       (* One pool task per (circuit, algorithm) cell, in the same order the
          sequential concat_map produced — Par.map keeps that order, so the
          row list differs from a --jobs 1 run only in the "seconds" field. *)
+      let tiers =
+        List.map (fun (c, b) -> (c, b, algorithms)) (bundled @ generated)
+        @ [
+            ("scale10k", scale_build 10_000, paper_algorithms);
+            ("scale100k", scale_build 100_000, area_only);
+          ]
+      in
       let cells =
         List.concat_map
-          (fun (circuit, build) ->
-            List.map (fun (alg, run) -> (circuit, build, alg, run)) algorithms)
-          (bundled @ generated)
+          (fun (circuit, build, algs) ->
+            List.map (fun (alg, run) -> (circuit, build, alg, run)) algs)
+          tiers
       in
       let opt_rows, opt_dt =
         wall (fun () ->

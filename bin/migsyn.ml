@@ -7,6 +7,7 @@
      map       compile to an RRAM program, report costs, verify, dump
      compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
      bench     run the paper's experiment rows for named benchmarks
+     gen       generate a seeded synthetic netlist (large-N tiers included)
      faults    stuck-at repair demo + baseline/resilient/TMR yield experiment
      montecarlo  yield-vs-variability campaign over the statistical device model
      profile   optimize + compile + execute with a timing/counter report
@@ -151,10 +152,14 @@ let parse_netlist path =
     | ".bench" -> Io.Bench_format.parse_file path
     | ".pla" -> Io.Pla.parse_file path
     | ".aag" -> Io.Aiger.parse_file path
-    | "" -> failwith (path ^ ": missing extension (expected .blif, .bench, .pla or .aag)")
+    | ".aig" -> Io.Aiger.parse_binary_file path
+    | "" ->
+        failwith
+          (path ^ ": missing extension (expected .blif, .bench, .pla, .aag or .aig)")
     | ext ->
         failwith
-          (Printf.sprintf "%s: unsupported netlist extension %s (expected .blif, .bench, .pla or .aag)"
+          (Printf.sprintf
+             "%s: unsupported netlist extension %s (expected .blif, .bench, .pla, .aag or .aig)"
              path ext)
   with
   | Io.Blif.Parse_error (line, msg) -> wrap line msg
@@ -166,7 +171,8 @@ let input_arg =
   Arg.(
     required
     & pos 0 (some file) None
-    & info [] ~docv:"NETLIST" ~doc:"Input netlist (.blif, .bench, .pla or .aag).")
+    & info [] ~docv:"NETLIST"
+        ~doc:"Input netlist (.blif, .bench, .pla, .aag or .aig).")
 
 let effort_arg =
   Arg.(
@@ -359,8 +365,8 @@ let flow_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"NETLIST"
           ~doc:
-            "Input netlist (.blif, .bench, .pla or .aag); not needed with \
-             --list-passes.")
+            "Input netlist (.blif, .bench, .pla, .aag or .aig); not needed \
+             with --list-passes.")
   in
   (* Flow-script problems are user errors, not internal ones: report them as
      `migsyn flow: error: ...` (with the byte position and a did-you-mean
@@ -634,7 +640,7 @@ let plim_cmd =
 let export_cmd =
   let format_conv =
     let parse = function
-      | ("dot" | "verilog" | "blif" | "bench" | "aag") as s -> Ok s
+      | ("dot" | "verilog" | "blif" | "bench" | "aag" | "aig") as s -> Ok s
       | s -> Error (`Msg ("unknown export format " ^ s))
     in
     Arg.conv (parse, Format.pp_print_string)
@@ -643,7 +649,7 @@ let export_cmd =
     Arg.(
       value & opt format_conv "dot"
       & info [ "f"; "format" ] ~docv:"FMT"
-          ~doc:"Output format: dot, verilog, blif, bench or aag.")
+          ~doc:"Output format: dot, verilog, blif, bench, aag or aig.")
   in
   let out_arg =
     Arg.(
@@ -665,6 +671,9 @@ let export_cmd =
       | "aag" ->
           Io.Aiger.write_aig
             (Aig_lib.Aig_of_network.convert (Core.Mig_to_network.export mig))
+      | "aig" ->
+          Io.Aiger.write_aig_binary
+            (Aig_lib.Aig_of_network.convert (Core.Mig_to_network.export mig))
       | _ -> assert false
     in
     Io.Export.write_file out contents;
@@ -672,9 +681,101 @@ let export_cmd =
       (Core.Mig_opt.algorithm_name alg)
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Export the optimized MIG as DOT/Verilog/BLIF/bench/AIGER")
+    (Cmd.info "export"
+       ~doc:"Export the optimized MIG as DOT/Verilog/BLIF/bench/AIGER (aag or aig)")
     Term.(
       const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg $ format_arg
+      $ out_arg)
+
+(* ---------------- gen ---------------- *)
+
+let gen_cmd =
+  let gates_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "gates" ] ~docv:"N"
+          ~doc:
+            "Gate count of the generated circuit. The large-N tiers used by \
+             the scale benchmarks are 10000 and 100000; generation is \
+             linear in N.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt string "scale"
+      & info [ "seed" ] ~docv:"NAME"
+          ~doc:
+            "Generator seed string. Equal seeds (with equal shape options) \
+             produce byte-identical circuits on every machine.")
+  in
+  let inputs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inputs" ] ~docv:"N"
+          ~doc:
+            "Primary inputs. 0 (the default) generates the scale-tier \
+             layered circuit with about N/64 inputs; an explicit shape \
+             switches to the windowed random generator.")
+  in
+  let outputs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "outputs" ] ~docv:"N"
+          ~doc:
+            "Primary outputs. 0 (the default) generates the scale-tier \
+             layered circuit with about N/128 outputs; an explicit shape \
+             switches to the windowed random generator.")
+  in
+  let out_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output netlist; the extension picks the format (.blif, .bench, .aag or .aig).")
+  in
+  let run obs gates seed inputs outputs out =
+    if gates < 1 then
+      failwith (Printf.sprintf "--gates must be at least 1 (got %d)" gates);
+    if inputs < 0 then
+      failwith (Printf.sprintf "--inputs must be non-negative (got %d)" inputs);
+    if outputs < 0 then
+      failwith (Printf.sprintf "--outputs must be non-negative (got %d)" outputs);
+    with_obs ~sub:"gen" obs @@ fun () ->
+    ctx "seed" (Obs.Json.String seed);
+    ctx "gates" (Obs.Json.Int gates);
+    let net =
+      Obs.with_span ~cat:"gen" "gen/generate" (fun () ->
+          if inputs = 0 && outputs = 0 then
+            Io.Gen.scale_network ~name:seed ~gates ()
+          else
+            let inputs = if inputs = 0 then max 16 (gates / 64) else inputs in
+            let outputs = if outputs = 0 then max 8 (gates / 128) else outputs in
+            Io.Gen.random_network ~name:seed ~inputs ~gates ~outputs ())
+    in
+    let contents =
+      match Filename.extension out with
+      | ".blif" -> Io.Blif.write_string ~model_name:seed net
+      | ".bench" -> Io.Bench_format.write_string net
+      | ".aag" -> Io.Aiger.write_network net
+      | ".aig" -> Io.Aiger.write_network_binary net
+      | ext ->
+          failwith
+            (Printf.sprintf
+               "%s: unsupported output extension %s (expected .blif, .bench, .aag or .aig)"
+               out ext)
+    in
+    write_text out contents;
+    res "gates" (Obs.Json.Int (Logic.Network.num_gates net));
+    res "inputs" (Obs.Json.Int (Logic.Network.num_inputs net));
+    res "outputs" (Obs.Json.Int (Logic.Network.num_outputs net));
+    Format.printf "wrote %s (seed %s: %a)@." out seed Logic.Network.pp_stats net
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a seeded synthetic netlist (deterministic in --seed), \
+          including the 10^4/10^5-gate large-N tiers used by the scale \
+          benchmarks")
+    Term.(
+      const run $ obs_term $ gates_arg $ seed_arg $ inputs_arg $ outputs_arg
       $ out_arg)
 
 (* ---------------- faults ---------------- *)
@@ -1141,6 +1242,7 @@ let subcommands =
     bench_cmd;
     plim_cmd;
     export_cmd;
+    gen_cmd;
     faults_cmd;
     montecarlo_cmd;
     profile_cmd;

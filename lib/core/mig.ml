@@ -5,11 +5,21 @@ type node = {
   mutable kind : kind;
   mutable fanin : signal array;
   (* Counted fanout: the first [nfo] entries of [fanout] are the users, in
-     insertion order (oldest first).  The public view (!fanout) presents them
-     newest-first to preserve the historical cons-list order that
-     level-balancing heuristics iterate. *)
+     insertion order (oldest first) with removals tombstoned as [-1], so a
+     detach is O(1) instead of an order-preserving shift (which made heavy
+     substitution cascades quadratic on high-fanout nodes — the constant
+     node fans out to every AND/OR gate).  Holes are squeezed out, order
+     preserved, when an append finds the array at least half empty.  The
+     public view ({!fanout}) presents live users newest-first to preserve
+     the historical cons-list order that level-balancing heuristics
+     iterate. *)
   mutable fanout : int array;
   mutable nfo : int;
+  mutable nlive : int;
+  (* For a gate, [fo_slot.(i)] is the index of this gate inside
+     [fanin.(i)]'s fanout array — the back-pointers that make tombstoning
+     O(1).  Kept current by compaction; [[||]] for constants and inputs. *)
+  mutable fo_slot : int array;
   mutable dead : bool;
 }
 
@@ -53,7 +63,8 @@ let node_of s = s lsr 1
 let is_compl s = s land 1 = 1
 let signal_of n c = (n lsl 1) lor if c then 1 else 0
 
-let fresh_node kind = { kind; fanin = [||]; fanout = [||]; nfo = 0; dead = false }
+let fresh_node kind =
+  { kind; fanin = [||]; fanout = [||]; nfo = 0; nlive = 0; fo_slot = [||]; dead = false }
 
 let create () =
   let t =
@@ -124,29 +135,55 @@ let simplify3 a b c =
   else if b lxor c = 1 then Some a
   else None
 
-let add_fanout t n f =
+(* Squeeze the tombstones out of [n]'s fanout array in place, preserving the
+   order of the live entries, and re-aim the survivors' back-pointers (each
+   survivor is a gate with [n] as exactly one of its three distinct fanins). *)
+let compact_fanout t n =
+  let node = t.nodes.(n) in
+  let w = ref 0 in
+  for r = 0 to node.nfo - 1 do
+    let g = node.fanout.(r) in
+    if g >= 0 then begin
+      node.fanout.(!w) <- g;
+      let gn = t.nodes.(g) in
+      let fi = gn.fanin in
+      if node_of fi.(0) = n then gn.fo_slot.(0) <- !w
+      else if node_of fi.(1) = n then gn.fo_slot.(1) <- !w
+      else gn.fo_slot.(2) <- !w;
+      incr w
+    end
+  done;
+  node.nfo <- !w
+
+(* [add_fanout t n f i] appends user [f] to [n]'s fanout and records the slot
+   in [f]'s back-pointer for fanin position [i].  When the append needs room
+   and at least half the occupied prefix is tombstones, compact instead of
+   growing — amortized O(1) and the array never exceeds ~2x the live count. *)
+let add_fanout t n f i =
   let node = t.nodes.(n) in
   if node.nfo >= Array.length node.fanout then begin
-    let bigger = Array.make (max 4 (2 * Array.length node.fanout)) 0 in
-    Array.blit node.fanout 0 bigger 0 node.nfo;
-    node.fanout <- bigger
+    if node.nfo >= 8 && 2 * node.nlive <= node.nfo then compact_fanout t n
+    else begin
+      let bigger = Array.make (max 4 (2 * Array.length node.fanout)) 0 in
+      Array.blit node.fanout 0 bigger 0 node.nfo;
+      node.fanout <- bigger
+    end
   end;
   node.fanout.(node.nfo) <- f;
-  node.nfo <- node.nfo + 1
+  t.nodes.(f).fo_slot.(i) <- node.nfo;
+  node.nfo <- node.nfo + 1;
+  node.nlive <- node.nlive + 1
 
 (* A gate's three fanins are distinct nodes (the sorted triple survived Ω.M),
-   so a user appears at most once; removal is an order-preserving shift. *)
-let remove_fanout t n f =
+   so a user appears at most once; its back-pointer names the slot and removal
+   is an O(1) tombstone.  The slot is validated before writing: [substitute]
+   detaches a whole fanout array at once, which leaves the back-pointers of
+   the captured users stale until the cascade rewrites them. *)
+let remove_fanout t n f slot =
   let node = t.nodes.(n) in
-  let i = ref 0 in
-  while !i < node.nfo && node.fanout.(!i) <> f do
-    incr i
-  done;
-  if !i < node.nfo then begin
-    for j = !i to node.nfo - 2 do
-      node.fanout.(j) <- node.fanout.(j + 1)
-    done;
-    node.nfo <- node.nfo - 1
+  if slot < node.nfo && node.fanout.(slot) = f then begin
+    node.fanout.(slot) <- -1;
+    node.nlive <- node.nlive - 1
   end
 
 let lookup t a b c =
@@ -174,11 +211,12 @@ let maj t a b c =
       | _ ->
           let node = fresh_node Gate in
           node.fanin <- [| a; b; c |];
+          node.fo_slot <- Array.make 3 0;
           let id = push_node t node in
           Hashtbl.replace t.strash (a, b, c) id;
-          add_fanout t (node_of a) id;
-          add_fanout t (node_of b) id;
-          add_fanout t (node_of c) id;
+          add_fanout t (node_of a) id 0;
+          add_fanout t (node_of b) id 1;
+          add_fanout t (node_of c) id 2;
           t.ngates <- t.ngates + 1;
           emit t (Gate_added id);
           signal_of id false)
@@ -230,23 +268,17 @@ let fanout t n =
   let acc = ref [] in
   for i = 0 to node.nfo - 1 do
     let f = node.fanout.(i) in
-    if not t.nodes.(f).dead then acc := f :: !acc
+    if f >= 0 && not t.nodes.(f).dead then acc := f :: !acc
   done;
   !acc
 
-let fanout_size t n =
-  let node = t.nodes.(n) in
-  let count = ref 0 in
-  for i = 0 to node.nfo - 1 do
-    if not t.nodes.(node.fanout.(i)).dead then incr count
-  done;
-  !count
+let fanout_size t n = t.nodes.(n).nlive
 
 let fanout_iter t n f =
   let node = t.nodes.(n) in
   for i = 0 to node.nfo - 1 do
     let g = node.fanout.(i) in
-    if not t.nodes.(g).dead then f g
+    if g >= 0 && not t.nodes.(g).dead then f g
   done
 
 let is_dead t n = t.nodes.(n).dead
@@ -270,7 +302,9 @@ let kill t n =
   let node = t.nodes.(n) in
   if node.kind = Gate && not node.dead then begin
     unregister t n;
-    Array.iter (fun s -> remove_fanout t (node_of s) n) node.fanin;
+    Array.iteri
+      (fun i s -> remove_fanout t (node_of s) n node.fo_slot.(i))
+      node.fanin;
     node.dead <- true;
     t.ngates <- t.ngates - 1;
     emit t (Gate_killed n)
@@ -280,26 +314,32 @@ let rec substitute t n s =
   let node = t.nodes.(n) in
   if not node.dead then begin
     assert (node_of s <> n);
-    for i = 0 to t.npos - 1 do
-      if node_of t.pout.(i) = n then begin
-        let old = t.pout.(i) in
-        t.pout.(i) <- s lxor (old land 1);
-        t.porefs.(n) <- t.porefs.(n) - 1;
-        let m = node_of t.pout.(i) in
-        t.porefs.(m) <- t.porefs.(m) + 1;
-        emit t (Po_redirected { index = i; old_po = old })
-      end
-    done;
+    (* The maintained PO reference count gates the output scan: substitution
+       runs thousands of times per sweep and scanning every output each time
+       was an O(gates * outputs) term at the 10^5 tier. *)
+    if t.porefs.(n) > 0 then
+      for i = 0 to t.npos - 1 do
+        if node_of t.pout.(i) = n then begin
+          let old = t.pout.(i) in
+          t.pout.(i) <- s lxor (old land 1);
+          t.porefs.(n) <- t.porefs.(n) - 1;
+          let m = node_of t.pout.(i) in
+          t.porefs.(m) <- t.porefs.(m) + 1;
+          emit t (Po_redirected { index = i; old_po = old })
+        end
+      done;
     let fos = node.fanout in
     let nfos = node.nfo in
     node.fanout <- [||];
     node.nfo <- 0;
+    node.nlive <- 0;
     kill t n;
     (* The historical fanout order was a cons list (newest first); iterate
-       the array back-to-front to keep the cascade order bit-identical. *)
+       the array back-to-front, skipping tombstones, to keep the cascade
+       order bit-identical. *)
     for i = nfos - 1 downto 0 do
       let f = fos.(i) in
-      if not t.nodes.(f).dead then refanin t f n s
+      if f >= 0 && not t.nodes.(f).dead then refanin t f n s
     done
   end
 
@@ -320,13 +360,14 @@ and refanin t f n s =
       | Some g when g <> f && not t.nodes.(g).dead -> substitute t f (signal_of g false)
       | _ ->
           unregister t f;
-          Array.iter
-            (fun g -> if node_of g <> n then remove_fanout t (node_of g) f)
+          Array.iteri
+            (fun i g ->
+              if node_of g <> n then remove_fanout t (node_of g) f fnode.fo_slot.(i))
             fnode.fanin;
           let old_fanins = fnode.fanin in
           fnode.fanin <- [| a; b; c |];
           Hashtbl.replace t.strash (a, b, c) f;
-          Array.iter (fun g -> add_fanout t (node_of g) f) fnode.fanin;
+          Array.iteri (fun i g -> add_fanout t (node_of g) f i) fnode.fanin;
           emit t (Refanin { node = f; old_fanins }))
 
 (* Iterative post-order DFS from the outputs over the reusable scratch; calls

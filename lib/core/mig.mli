@@ -86,6 +86,7 @@ val fanout : t -> int -> int list
 (** Live gate nodes that use this node as a fanin, newest first. *)
 
 val fanout_size : t -> int -> int
+(** Number of live users — O(1), maintained alongside the fanout array. *)
 
 val fanout_iter : t -> int -> (int -> unit) -> unit
 (** Iterate the live users of a node, oldest first, without allocating.  The

@@ -83,6 +83,12 @@ let () =
       pass "cleanup" ~category:"structural" ~preserves:"function, structure"
         ~doc:"mark-and-compact copy: drop dead nodes, renumber topologically"
         (fun ~cycle:_ mig -> (Mig.cleanup mig, false));
+      pass "strash" ~category:"structural" ~preserves:"function, structure"
+        ~doc:
+          "one topological re-hash sweep: merge structural duplicates, \
+           compact dead ids; no-op (and reports no change) on an already \
+           canonical graph"
+        (fun ~cycle:_ mig -> Mig_passes.strash mig);
       pass "cut_rewrite" ~category:"boolean"
         ~doc:
           "NPN-cached 4-input cut-based Boolean resynthesis (the bool-rewrite \

@@ -12,7 +12,8 @@
 val registry : Mig.t Flow.registry
 (** All registered MIG passes, e.g. [eliminate], [reshape], [push_up],
     [push_up_nc], [push_up_f2], [psi_r], [omega_i], [omega_i3],
-    [omega_i_w_imp], [omega_i_w_maj], [balance], [cleanup], [cut_rewrite]. *)
+    [omega_i_w_imp], [omega_i_w_maj], [balance], [cleanup], [strash],
+    [cut_rewrite]. *)
 
 val ops : Mig.t Flow.ops
 (** Cleanup/copy via {!Mig.cleanup}; the trajectory measure samples

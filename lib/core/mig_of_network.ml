@@ -1,18 +1,36 @@
 open Logic
 
-(* Balanced fold keeps tree depth logarithmic in the operand count. *)
-let rec balanced_fold f = function
+(* Balanced fold keeps tree depth logarithmic in the operand count.
+   Explicit-stack evaluation of the historical recursion
+   [f (fold left-half) (fold right-half)] — including its right-to-left
+   argument order, which fixes the MIG node creation order when [f] builds
+   gates — without the per-level list splitting (O(n log n) allocation) or
+   any stack-depth dependence on the operand count. *)
+let balanced_fold f = function
   | [] -> invalid_arg "Mig_of_network: empty operand list"
   | [ x ] -> x
   | xs ->
-      let rec split acc k = function
-        | rest when k = 0 -> (List.rev acc, rest)
-        | x :: rest -> split (x :: acc) (k - 1) rest
-        | [] -> (List.rev acc, [])
-      in
-      let half = List.length xs / 2 in
-      let left, right = split [] half xs in
-      f (balanced_fold f left) (balanced_fold f right)
+      let arr = Array.of_list xs in
+      (* frames: [Eval (lo, hi)] folds the slice, [Combine] applies [f] to
+         the top two values (left on top, pushed second). *)
+      let frames = ref [ `Eval (0, Array.length arr) ] in
+      let values = ref [] in
+      while !frames <> [] do
+        let fr = List.hd !frames in
+        frames := List.tl !frames;
+        match fr with
+        | `Eval (lo, hi) ->
+            if hi - lo = 1 then values := arr.(lo) :: !values
+            else begin
+              let mid = lo + ((hi - lo) / 2) in
+              frames := `Eval (mid, hi) :: `Eval (lo, mid) :: `Combine :: !frames
+            end
+        | `Combine -> (
+            match !values with
+            | l :: r :: rest -> values := f l r :: rest
+            | _ -> assert false)
+      done;
+      (match !values with [ v ] -> v | _ -> assert false)
 
 let signal_of_sop mig sop literal_signal =
   let cube_signal cube =

@@ -16,6 +16,9 @@ and c_psi_r_miss = Obs.counter "mig.rule/psi_r.misses"
 and c_omega_i_hit = Obs.counter "mig.rule/omega_i.hits"
 and c_omega_i_miss = Obs.counter "mig.rule/omega_i.misses"
 
+let c_strash_merges = Obs.counter "mig.pass/strash.merges"
+and c_strash_compacted = Obs.counter "mig.pass/strash.compacted_ids"
+
 (* Specializes at partial-application time (once per sweep): when
    observability is off this returns [rule] itself, so the per-gate loop
    pays nothing over the uninstrumented code. *)
@@ -174,3 +177,35 @@ let balance mig =
 let size_and_depth mig =
   let a = Mig_analysis.of_mig mig in
   (Mig_analysis.size a, Mig_analysis.depth a)
+
+(* One topological sweep that re-hashes every live gate against the gates
+   already visited and merges structural duplicates (substitution cascades
+   keep downstream triples current, so later visits see post-merge fanins).
+   Node construction strashes eagerly and [Mig.refanin] re-hashes through
+   the same table, so in steady state this sweep is a defensive no-op on
+   duplicates; its routine effect is detecting (and compacting away) dead
+   node records and live-but-unreachable gates left behind by rewriting.
+   Returns the untouched input when the graph is already canonical, so
+   enclosing [cycle] blocks converge. *)
+let strash mig =
+  let seen = Hashtbl.create 997 in
+  let merges = ref 0 in
+  Mig.foreach_gate mig (fun g ->
+      if not (Mig.is_dead mig g) then begin
+        let f = Mig.fanins mig g in
+        let key = (f.(0), f.(1), f.(2)) in
+        match Hashtbl.find_opt seen key with
+        | Some first when first <> g && not (Mig.is_dead mig first) ->
+            incr merges;
+            Mig.substitute mig g (Mig.signal_of first false)
+        | Some _ -> ()
+        | None -> Hashtbl.add seen key g
+      end);
+  let reachable = Mig.size mig in
+  let dead_ids = Mig.num_nodes mig - 1 - Mig.num_pis mig - reachable in
+  if !merges = 0 && dead_ids = 0 then (mig, false)
+  else begin
+    Obs.incr ~by:!merges c_strash_merges;
+    Obs.incr ~by:dead_ids c_strash_compacted;
+    (Mig.cleanup mig, true)
+  end

@@ -37,4 +37,12 @@ val balance : Mig.t -> bool
 (** Trailing Ω.A; Ω.D right-to-left combination of Alg. 3 that undoes
     level-size growth introduced by push-up. *)
 
+val strash : Mig.t -> Mig.t * bool
+(** One topological re-hash sweep: merge structurally identical gates (the
+    duplicates substitution and rewriting could in principle leave behind)
+    and compact dead node records and unreachable gates out of the id
+    space.  Returns [(mig, false)] untouched when the graph is already
+    canonical — hash-unique, fully live, densely numbered — so a [cycle]
+    containing it converges; otherwise a cleaned copy and [true]. *)
+
 val size_and_depth : Mig.t -> int * int

@@ -4,6 +4,45 @@ exception Parse_error of int * string
 
 let fail line msg = raise (Parse_error (line, msg))
 
+(* ------------------------------------------------------------------ *)
+(* Shared network construction                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Both readers decode to the same intermediate — output literals plus
+   [(lhs, rhs0, rhs1)] AND definitions in file order — and feed it here, so
+   an [aag] file and its binary twin build bit-identical networks (same
+   node-creation order, same lazily shared negation nodes). *)
+let build_network ~fail net node_of_var ~m ~output_lits ~and_defs =
+  let negations = Hashtbl.create 97 in
+  let literal lit =
+    let v = lit / 2 in
+    if v > m then fail "literal out of range";
+    let base = node_of_var.(v) in
+    if base < 0 then fail (Printf.sprintf "undefined variable %d" v);
+    if lit land 1 = 0 then base
+    else
+      match Hashtbl.find_opt negations lit with
+      | Some id -> id
+      | None ->
+          let id = Network.not_ net base in
+          Hashtbl.replace negations lit id;
+          id
+  in
+  (* AIGER files are topologically sorted (lhs > rhs), so one pass works. *)
+  Array.iter
+    (fun (lhs, r0, r1) ->
+      let id = Network.and2 net (literal r0) (literal r1) in
+      node_of_var.(lhs / 2) <- id)
+    and_defs;
+  Array.iteri
+    (fun k lit -> Network.add_output net (Printf.sprintf "o%d" k) (literal lit))
+    output_lits;
+  net
+
+(* ------------------------------------------------------------------ *)
+(* ASCII reader                                                        *)
+(* ------------------------------------------------------------------ *)
+
 let parse_string text =
   let lines = String.split_on_char '\n' text |> Array.of_list in
   if Array.length lines = 0 then fail 1 "empty file";
@@ -49,7 +88,6 @@ let parse_string text =
         | _ -> fail !line_no "bad output line")
   in
   (* AND definitions *)
-  let negations = Hashtbl.create 97 in
   let and_defs =
     Array.init a (fun _ ->
         match ints (next_line ()) with
@@ -58,43 +96,98 @@ let parse_string text =
             (lhs, r0, r1)
         | _ -> fail !line_no "bad AND line")
   in
-  let literal lit =
-    let v = lit / 2 in
-    if v > m then fail 0 "literal out of range";
-    let base = node_of_var.(v) in
-    if base < 0 then fail 0 (Printf.sprintf "undefined variable %d" v);
-    if lit land 1 = 0 then base
-    else
-      match Hashtbl.find_opt negations lit with
-      | Some id -> id
-      | None ->
-          let id = Network.not_ net base in
-          Hashtbl.replace negations lit id;
-          id
+  build_network ~fail:(fail 0) net node_of_var ~m ~output_lits ~and_defs
+
+(* ------------------------------------------------------------------ *)
+(* Binary reader                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Binary AIGER: same header with tag [aig], inputs implicit (variables
+   1..I), ASCII output lines, then A AND definitions as two 7-bit
+   variable-length deltas each — [lhs - rhs0] and [rhs0 - rhs1] with
+   [lhs = 2*(I+L+k+1)] for the k-th AND and [lhs > rhs0 >= rhs1].  Parse
+   errors report the byte offset instead of a line number. *)
+let parse_binary_string text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let read_line () =
+    if !pos >= len then fail "unexpected end of file";
+    let start = !pos in
+    let stop = try String.index_from text start '\n' with Not_found -> len in
+    pos := min len (stop + 1);
+    String.sub text start (stop - start)
   in
-  (* AIGER files are topologically sorted (lhs > rhs), so one pass works. *)
-  Array.iter
-    (fun (lhs, r0, r1) ->
-      let id = Network.and2 net (literal r0) (literal r1) in
-      node_of_var.(lhs / 2) <- id)
-    and_defs;
-  Array.iteri
-    (fun k lit -> Network.add_output net (Printf.sprintf "o%d" k) (literal lit))
-    output_lits;
-  net
+  let header =
+    String.split_on_char ' ' (String.trim (read_line ()))
+    |> List.filter (fun s -> s <> "")
+  in
+  let m, i, l, o, a =
+    match header with
+    | [ "aig"; m; i; l; o; a ] -> (
+        try
+          (int_of_string m, int_of_string i, int_of_string l, int_of_string o,
+           int_of_string a)
+        with Failure _ -> fail "expected 'aig M I L O A' header")
+    | _ -> fail "expected 'aig M I L O A' header"
+  in
+  if l <> 0 then fail "latches are not supported (combinational subset)";
+  if m < i + a then fail "header M smaller than I + A";
+  let net = Network.create () in
+  let node_of_var = Array.make (m + 1) (-1) in
+  node_of_var.(0) <- Network.const net false;
+  for k = 0 to i - 1 do
+    node_of_var.(k + 1) <- Network.add_input net (Printf.sprintf "i%d" k)
+  done;
+  let output_lits =
+    Array.init o (fun _ ->
+        match int_of_string_opt (String.trim (read_line ())) with
+        | Some v -> v
+        | None -> fail "bad output line")
+  in
+  let read_delta () =
+    let x = ref 0 and shift = ref 0 and fin = ref false in
+    while not !fin do
+      if !pos >= len then fail "truncated AND delta";
+      if !shift > 62 then fail "AND delta overflows";
+      let b = Char.code text.[!pos] in
+      incr pos;
+      x := !x lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if b < 0x80 then fin := true
+    done;
+    !x
+  in
+  let and_defs =
+    Array.init a (fun k ->
+        let lhs = 2 * (i + k + 1) in
+        let rhs0 = lhs - read_delta () in
+        if rhs0 < 0 then fail "AND delta out of range";
+        let rhs1 = rhs0 - read_delta () in
+        if rhs1 < 0 then fail "AND delta out of range";
+        (lhs, rhs0, rhs1))
+  in
+  build_network ~fail net node_of_var ~m ~output_lits ~and_defs
 
-let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string text
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_aig aig =
+let parse_file path = parse_string (read_file path)
+let parse_binary_file path = parse_binary_string (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Writers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared variable numbering: inputs first, then ANDs in topological
+   order — the layout the binary format mandates, reused for ASCII so the
+   two writers emit the same circuit description. *)
+let number_vars aig =
   let open Aig_lib in
   let order = Aig.topo_order aig in
-  (* AIGER variable numbering: inputs first, then ANDs in topological
-     order. *)
   let var_of = Hashtbl.create 997 in
   Hashtbl.replace var_of 0 0;
   let next = ref 1 in
@@ -111,8 +204,12 @@ let write_aig aig =
     let v = Hashtbl.find var_of (Aig.node_of s) in
     (2 * v) + if Aig.is_compl s then 1 else 0
   in
+  (order, var_of, lit, !next - 1)
+
+let write_aig aig =
+  let open Aig_lib in
+  let order, var_of, lit, m = number_vars aig in
   let buf = Buffer.create 4096 in
-  let m = !next - 1 in
   Buffer.add_string buf
     (Printf.sprintf "aag %d %d 0 %d %d\n" m (Aig.num_pis aig) (Aig.num_pos aig)
        (List.length order));
@@ -120,17 +217,54 @@ let write_aig aig =
     Buffer.add_string buf (Printf.sprintf "%d\n" (lit (Aig.pi aig k)))
   done;
   Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit s))) (Aig.pos aig);
+  (* Operands largest-literal first — the binary format's [rhs0 >= rhs1]
+     normal form — so an [aag] file and its [aig] twin decode to identical
+     AND definitions and round-trip byte-stably through either reader. *)
   List.iter
     (fun n ->
       let f0, f1 = Aig.fanins aig n in
+      let a = lit f0 and b = lit f1 in
       Buffer.add_string buf
-        (Printf.sprintf "%d %d %d\n" (2 * Hashtbl.find var_of n) (lit f0) (lit f1)))
+        (Printf.sprintf "%d %d %d\n" (2 * Hashtbl.find var_of n) (max a b) (min a b)))
+    order;
+  Buffer.contents buf
+
+let encode_delta buf x =
+  let x = ref x in
+  while !x >= 0x80 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!x land 0x7f)));
+    x := !x lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !x)
+
+let write_aig_binary aig =
+  let open Aig_lib in
+  let order, var_of, lit, m = number_vars aig in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "aig %d %d 0 %d %d\n" m (Aig.num_pis aig) (Aig.num_pos aig)
+       (List.length order));
+  Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit s))) (Aig.pos aig);
+  List.iter
+    (fun n ->
+      let f0, f1 = Aig.fanins aig n in
+      let a = lit f0 and b = lit f1 in
+      let lhs = 2 * Hashtbl.find var_of n in
+      let rhs0 = max a b and rhs1 = min a b in
+      encode_delta buf (lhs - rhs0);
+      encode_delta buf (rhs0 - rhs1))
     order;
   Buffer.contents buf
 
 let write_network net = write_aig (Aig_lib.Aig_of_network.convert net)
+let write_network_binary net = write_aig_binary (Aig_lib.Aig_of_network.convert net)
 
 let write_file path aig =
   let oc = open_out path in
   output_string oc (write_aig aig);
+  close_out oc
+
+let write_binary_file path aig =
+  let oc = open_out_bin path in
+  output_string oc (write_aig_binary aig);
   close_out oc

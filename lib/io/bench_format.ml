@@ -8,12 +8,16 @@ type def =
   | Gate of string * string list (* kind, operands *)
   | Dff of string (* data operand *)
 
-let parse_internal text =
-  let lines = String.split_on_char '\n' text in
+(* Streaming: [iter_lines] hands over one physical line at a time, so a
+   file parse reads straight off the channel instead of materializing the
+   whole text. *)
+let parse_internal iter_lines =
   let inputs = ref [] and outputs = ref [] and defs = ref [] in
-  List.iteri
-    (fun i raw ->
-      let n = i + 1 in
+  let lineno = ref 0 in
+  iter_lines
+    (fun raw ->
+      incr lineno;
+      let n = !lineno in
       let line =
         match String.index_opt raw '#' with
         | Some j -> String.sub raw 0 j
@@ -61,8 +65,7 @@ let parse_internal text =
                 | _ -> fail n "DFF takes one operand"
               end
               else defs := (n, target, Gate (kind, args)) :: !defs
-      end)
-    lines;
+      end);
   let inputs = List.rev !inputs and outputs = List.rev !outputs and defs = List.rev !defs in
   let net = Network.create () in
   let node_of_name = Hashtbl.create 97 in
@@ -82,35 +85,49 @@ let parse_internal text =
       | Dff _ -> ())
     defs;
   let in_progress = Hashtbl.create 17 in
-  let rec resolve name =
-    match Hashtbl.find_opt node_of_name name with
-    | Some id -> id
-    | None -> (
-        match Hashtbl.find_opt def_of name with
-        | None -> fail 0 ("undefined signal " ^ name)
-        | Some (n, kind, args) ->
-            if Hashtbl.mem in_progress name then fail n ("combinational cycle at " ^ name);
-            Hashtbl.add in_progress name ();
-            let ids = Array.of_list (List.map resolve args) in
-            Hashtbl.remove in_progress name;
-            let id =
-              match kind with
-              | "AND" -> Network.gate net Network.And ids
-              | "OR" -> Network.gate net Network.Or ids
-              | "NAND" -> Network.gate net Network.Nand ids
-              | "NOR" -> Network.gate net Network.Nor ids
-              | "XOR" -> Network.gate net Network.Xor ids
-              | "XNOR" -> Network.gate net Network.Xnor ids
-              | "NOT" -> Network.gate net Network.Not ids
-              | "BUF" | "BUFF" -> Network.gate net Network.Buf ids
-              | "GND" -> Network.const net false
-              | "VDD" -> Network.const net true
-              | "MUX" -> Network.gate net Network.Mux ids
-              | "MAJ" -> Network.gate net Network.Maj ids
-              | _ -> fail n ("unknown gate " ^ kind)
-            in
-            Hashtbl.replace node_of_name name id;
-            id)
+  (* Iterative dependency walk — same discipline as {!Blif}: [`Visit]
+     expands unresolved operands over a deferred [`Emit]; operands are
+     pushed in reverse so the leftmost resolves first, preserving the
+     recursive resolver's node numbering; stack-safe on deep netlists. *)
+  let resolve root =
+    let stack = ref [ `Visit root ] in
+    while !stack <> [] do
+      let fr = List.hd !stack in
+      stack := List.tl !stack;
+      match fr with
+      | `Visit name ->
+          if not (Hashtbl.mem node_of_name name) then begin
+            match Hashtbl.find_opt def_of name with
+            | None -> fail 0 ("undefined signal " ^ name)
+            | Some (n, kind, args) ->
+                if Hashtbl.mem in_progress name then
+                  fail n ("combinational cycle at " ^ name);
+                Hashtbl.add in_progress name ();
+                stack := `Emit (name, n, kind, args) :: !stack;
+                List.iter (fun a -> stack := `Visit a :: !stack) (List.rev args)
+          end
+      | `Emit (name, n, kind, args) ->
+          Hashtbl.remove in_progress name;
+          let ids = Array.of_list (List.map (Hashtbl.find node_of_name) args) in
+          let id =
+            match kind with
+            | "AND" -> Network.gate net Network.And ids
+            | "OR" -> Network.gate net Network.Or ids
+            | "NAND" -> Network.gate net Network.Nand ids
+            | "NOR" -> Network.gate net Network.Nor ids
+            | "XOR" -> Network.gate net Network.Xor ids
+            | "XNOR" -> Network.gate net Network.Xnor ids
+            | "NOT" -> Network.gate net Network.Not ids
+            | "BUF" | "BUFF" -> Network.gate net Network.Buf ids
+            | "GND" -> Network.const net false
+            | "VDD" -> Network.const net true
+            | "MUX" -> Network.gate net Network.Mux ids
+            | "MAJ" -> Network.gate net Network.Maj ids
+            | _ -> fail n ("unknown gate " ^ kind)
+          in
+          Hashtbl.replace node_of_name name id
+    done;
+    Hashtbl.find node_of_name root
   in
   List.iter (fun name -> Network.add_output net name (resolve name)) outputs;
   (* DFF inputs become pseudo primary outputs. *)
@@ -125,23 +142,36 @@ let parse_internal text =
     defs;
   (net, List.length inputs, List.length outputs, !dffs)
 
+let iter_string_lines text feed = List.iter feed (String.split_on_char '\n' text)
+
+let iter_channel_lines ic feed =
+  try
+    while true do
+      feed (input_line ic)
+    done
+  with End_of_file -> ()
+
 let parse_string text =
-  let net, _, _, _ = parse_internal text in
+  let net, _, _, _ = parse_internal (iter_string_lines text) in
   net
 
 let parse_sequential_string text =
-  let net, pis, pos, dffs = parse_internal text in
+  let net, pis, pos, dffs = parse_internal (iter_string_lines text) in
   Seq.create net ~num_pis:pis ~num_pos:pos ~init:(Array.make dffs false)
 
-let read_file path =
+let with_file path f =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  text
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
 
-let parse_file path = parse_string (read_file path)
-let parse_sequential_file path = parse_sequential_string (read_file path)
+let parse_file path =
+  with_file path (fun ic ->
+      let net, _, _, _ = parse_internal (iter_channel_lines ic) in
+      net)
+
+let parse_sequential_file path =
+  with_file path (fun ic ->
+      let net, pis, pos, dffs = parse_internal (iter_channel_lines ic) in
+      Seq.create net ~num_pis:pis ~num_pos:pos ~init:(Array.make dffs false))
 
 let write_string net =
   let buf = Buffer.create 4096 in

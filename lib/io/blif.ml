@@ -5,29 +5,46 @@ exception Parse_error of int * string
 let fail line msg = raise (Parse_error (line, msg))
 
 (* Physical lines -> logical lines (comments stripped, continuations
-   joined), each tagged with its starting line number. *)
-let logical_lines text =
-  let raw = String.split_on_char '\n' text in
-  let rec go n acc pending pending_line = function
-    | [] -> List.rev (match pending with None -> acc | Some s -> (pending_line, s) :: acc)
-    | line :: rest ->
-        let line =
-          match String.index_opt line '#' with
-          | Some i -> String.sub line 0 i
-          | None -> line
-        in
-        let line = String.trim line in
-        let joined, start =
-          match pending with
-          | None -> (line, n)
-          | Some prefix -> (prefix ^ " " ^ line, pending_line)
-        in
-        if String.length joined > 0 && joined.[String.length joined - 1] = '\\' then
-          go (n + 1) acc (Some (String.sub joined 0 (String.length joined - 1))) start rest
-        else if String.trim joined = "" then go (n + 1) acc None n rest
-        else go (n + 1) ((start, joined) :: acc) None n rest
+   joined), each tagged with its starting line number.  Streaming: [iter]
+   produces one physical line at a time (from a string or straight off a
+   channel, so parsing a file never materializes its whole text) and [k] is
+   called per completed logical line. *)
+let iter_logical_lines iter k =
+  let pending = ref None and pending_line = ref 1 and n = ref 0 in
+  let feed line =
+    incr n;
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    let joined, start =
+      match !pending with
+      | None -> (line, !n)
+      | Some prefix -> (prefix ^ " " ^ line, !pending_line)
+    in
+    if String.length joined > 0 && joined.[String.length joined - 1] = '\\' then begin
+      pending := Some (String.sub joined 0 (String.length joined - 1));
+      pending_line := start
+    end
+    else if String.trim joined = "" then pending := None
+    else begin
+      pending := None;
+      k start joined
+    end
   in
-  go 1 [] None 1 raw
+  iter feed;
+  match !pending with None -> () | Some s -> k !pending_line s
+
+let iter_string_lines text feed = List.iter feed (String.split_on_char '\n' text)
+
+let iter_channel_lines ic feed =
+  try
+    while true do
+      feed (input_line ic)
+    done
+  with End_of_file -> ()
 
 let tokens line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
 
@@ -38,8 +55,7 @@ type names_block = {
   mutable cover : (string * char) list; (* cube text, output value *)
 }
 
-let parse_internal ~sequential text =
-  let lines = logical_lines text in
+let parse_internal ~sequential iter_lines =
   let inputs = ref [] and outputs = ref [] in
   let latches = ref [] in
   let blocks = ref [] and current = ref None in
@@ -50,8 +66,8 @@ let parse_internal ~sequential text =
         current := None
     | None -> ()
   in
-  List.iter
-    (fun (n, line) ->
+  iter_logical_lines iter_lines
+    (fun n line ->
       match tokens line with
       | [] -> ()
       | cmd :: args when cmd.[0] = '.' -> (
@@ -94,8 +110,7 @@ let parse_internal ~sequential text =
                     fail n "cube width does not match .names inputs";
                   if String.length out <> 1 then fail n "bad output column";
                   b.cover <- (cube, out.[0]) :: b.cover
-              | _ -> fail n "malformed cover line")))
-    lines;
+              | _ -> fail n "malformed cover line")));
   finish_current ();
   let blocks = List.rev !blocks in
   (* Build the network, resolving blocks on demand (BLIF order is free). *)
@@ -110,36 +125,51 @@ let parse_internal ~sequential text =
   let block_of_target = Hashtbl.create 97 in
   List.iter (fun b -> Hashtbl.replace block_of_target b.target b) blocks;
   let in_progress = Hashtbl.create 17 in
-  let rec resolve name =
-    match Hashtbl.find_opt node_of_name name with
-    | Some id -> id
-    | None -> (
-        match Hashtbl.find_opt block_of_target name with
-        | None -> fail 0 ("undefined signal " ^ name)
-        | Some b ->
-            if Hashtbl.mem in_progress name then fail b.block_line ("combinational cycle at " ^ name);
-            Hashtbl.add in_progress name ();
-            let dep_ids = List.map resolve b.deps in
-            Hashtbl.remove in_progress name;
-            let k = List.length b.deps in
-            let out_values = List.map snd b.cover in
-            let polarity =
-              match List.sort_uniq compare out_values with
-              | [] | [ '1' ] -> `On
-              | [ '0' ] -> `Off
-              | _ -> fail b.block_line "mixed output polarities in one cover"
-            in
-            let sop =
-              Sop.of_cubes k (List.rev_map (fun (cube, _) -> Cube.of_string cube) b.cover)
-            in
-            let table = Network.gate net (Network.Table sop) (Array.of_list dep_ids) in
-            let id =
-              match polarity with
-              | `On -> table
-              | `Off -> Network.not_ net table
-            in
-            Hashtbl.replace node_of_name name id;
-            id)
+  (* Iterative dependency walk (stack-safe on deep netlists): [`Visit]
+     expands a block's unresolved deps on top of its deferred [`Emit], which
+     builds the gate once every dep id is known.  Deps are pushed in reverse
+     so the leftmost resolves first — the order the recursive resolver
+     produced, which fixes node numbering. *)
+  let resolve root =
+    let stack = ref [ `Visit root ] in
+    while !stack <> [] do
+      let fr = List.hd !stack in
+      stack := List.tl !stack;
+      match fr with
+      | `Visit name ->
+          if not (Hashtbl.mem node_of_name name) then begin
+            match Hashtbl.find_opt block_of_target name with
+            | None -> fail 0 ("undefined signal " ^ name)
+            | Some b ->
+                if Hashtbl.mem in_progress name then
+                  fail b.block_line ("combinational cycle at " ^ name);
+                Hashtbl.add in_progress name ();
+                stack := `Emit b :: !stack;
+                List.iter
+                  (fun d -> stack := `Visit d :: !stack)
+                  (List.rev b.deps)
+          end
+      | `Emit b ->
+          Hashtbl.remove in_progress b.target;
+          let dep_ids = List.map (Hashtbl.find node_of_name) b.deps in
+          let k = List.length b.deps in
+          let out_values = List.map snd b.cover in
+          let polarity =
+            match List.sort_uniq compare out_values with
+            | [] | [ '1' ] -> `On
+            | [ '0' ] -> `Off
+            | _ -> fail b.block_line "mixed output polarities in one cover"
+          in
+          let sop =
+            Sop.of_cubes k (List.rev_map (fun (cube, _) -> Cube.of_string cube) b.cover)
+          in
+          let table = Network.gate net (Network.Table sop) (Array.of_list dep_ids) in
+          let id =
+            match polarity with `On -> table | `Off -> Network.not_ net table
+          in
+          Hashtbl.replace node_of_name b.target id
+    done;
+    Hashtbl.find node_of_name root
   in
   List.iter (fun name -> Network.add_output net name (resolve name)) !outputs;
   (* latch data pins are pseudo primary outputs *)
@@ -150,22 +180,26 @@ let parse_internal ~sequential text =
    Array.of_list (List.map (fun (_, _, init) -> init) latches))
 
 let parse_string text =
-  let net, _, _, _ = parse_internal ~sequential:false text in
+  let net, _, _, _ = parse_internal ~sequential:false (iter_string_lines text) in
   net
 
 let parse_sequential_string text =
-  let net, pis, pos, init = parse_internal ~sequential:true text in
+  let net, pis, pos, init = parse_internal ~sequential:true (iter_string_lines text) in
   Seq.create net ~num_pis:pis ~num_pos:pos ~init
 
-let read_file path =
+let with_file path f =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  text
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
 
-let parse_file path = parse_string (read_file path)
-let parse_sequential_file path = parse_sequential_string (read_file path)
+let parse_file path =
+  with_file path (fun ic ->
+      let net, _, _, _ = parse_internal ~sequential:false (iter_channel_lines ic) in
+      net)
+
+let parse_sequential_file path =
+  with_file path (fun ic ->
+      let net, pis, pos, init = parse_internal ~sequential:true (iter_channel_lines ic) in
+      Seq.create net ~num_pis:pis ~num_pos:pos ~init)
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                               *)

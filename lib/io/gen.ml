@@ -10,11 +10,16 @@ let binary_kinds =
    polynomial; fully random connectivity would make the BDD baseline
    overflow on circuits whose originals are BDD-friendly. *)
 
-let window_pick rng arr center radius =
-  let n = Array.length arr in
+(* [len] bounds the live prefix of [arr]: generators that grow a pool in
+   place pick against the prefix without copying it per draw (copying made
+   generation quadratic, which dominated at the 10^4–10^5-gate tier). *)
+let window_pick_prefix rng arr ~len center radius =
   let lo = max 0 (center - radius) in
-  let hi = min (n - 1) (center + radius) in
+  let hi = min (len - 1) (center + radius) in
   arr.(lo + Prng.int rng (hi - lo + 1))
+
+let window_pick rng arr center radius =
+  window_pick_prefix rng arr ~len:(Array.length arr) center radius
 
 let random_network ~name ~inputs ~gates ~outputs () =
   let rng = Prng.of_string name in
@@ -32,8 +37,7 @@ let random_network ~name ~inputs ~gates ~outputs () =
       else (g * (!count - 1) / max 1 gates) + Prng.int rng 4
     in
     let center = min center (!count - 1) in
-    let existing = Array.sub pool 0 !count in
-    let pick () = window_pick rng existing center 4 in
+    let pick () = window_pick_prefix rng pool ~len:!count center 4 in
     let choice = Prng.int rng 10 in
     let id =
       if choice < 7 then
@@ -79,6 +83,69 @@ let layered_network ~name ~inputs ~width ~depth ~outputs () =
     let center = o * (Array.length last - 1) / max 1 outputs in
     Network.add_output net (Printf.sprintf "y%d" o) (window_pick rng last center 3)
   done;
+  net
+
+(* The large-N tier wants circuits whose *live* size tracks the requested
+   gate count: [random_network] leaves a big fraction of its gates dead
+   (outputs only tap the tail) or strash-merged (narrow windows repeat
+   operand pairs).  Here every layer-k node is consumed by layer k+1 by
+   construction (gate i takes operand 0 from source i), a funnel of halving
+   layers reduces the last layer onto the outputs, and operand 0 makes each
+   in-layer triple distinct, so the whole circuit is reachable and almost
+   nothing hash-merges away. *)
+let scale_network ~name ~gates () =
+  if gates < 1 then invalid_arg "Gen.scale_network: gates must be at least 1";
+  (* No XOR/MUX: those explode into several ANDs through the AIGER writer,
+     which would detach the on-disk size from the requested tier.  AND-class
+     gates are one AND (and one MIG gate) each; the MAJ fraction keeps the
+     tier MIG-native without dominating the expansion. *)
+  let scale_kinds = [| Network.And; Network.Or; Network.Nand; Network.Nor |] in
+  let inputs = max 16 (gates / 64) in
+  let outputs = max 8 (gates / 128) in
+  let width = max outputs (gates / 48) in
+  let rng = Prng.of_string name in
+  let net = Network.create () in
+  let layer0 =
+    Array.init inputs (fun i -> Network.add_input net (Printf.sprintf "x%d" i))
+  in
+  let prev = ref layer0 in
+  let made = ref 0 in
+  let make_layer w =
+    let sources = !prev in
+    let n_src = Array.length sources in
+    let layer =
+      Array.init w (fun i ->
+          let a = sources.(i mod n_src) in
+          let center = i * (n_src - 1) / max 1 w in
+          let pick () = window_pick rng sources center 8 in
+          let choice = Prng.int rng 10 in
+          if choice < 8 then
+            Network.gate net (Prng.pick rng scale_kinds) [| a; pick () |]
+          else Network.gate net Network.Maj [| a; pick (); pick () |])
+    in
+    made := !made + w;
+    prev := layer
+  in
+  while !made < gates do
+    make_layer (min width (max outputs (gates - !made)))
+  done;
+  (* Funnel: halve until the layer fits the output count, consuming every
+     node of each intermediate layer on the way down. *)
+  while Array.length !prev > outputs do
+    let sources = !prev in
+    let n_src = Array.length sources in
+    let w = max outputs ((n_src + 1) / 2) in
+    let layer =
+      Array.init w (fun i ->
+          let a = sources.(2 * i mod n_src)
+          and b = sources.(min ((2 * i) + 1) (n_src - 1)) in
+          Network.gate net (Prng.pick rng scale_kinds) [| a; b |])
+    in
+    prev := layer
+  done;
+  Array.iteri
+    (fun o id -> Network.add_output net (Printf.sprintf "y%d" o) id)
+    !prev;
   net
 
 let random_sop_network ~name ~inputs ~outputs ~cubes ~literals () =

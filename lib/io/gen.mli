@@ -30,6 +30,13 @@ val layered_network :
     from the previous two layers.  Produces the wide-and-shallow profile of
     two-level PLA benchmarks. *)
 
+val scale_network : name:string -> gates:int -> unit -> Logic.Network.t
+(** The large-N synthetic tier: a {!random_network} with inputs and outputs
+    scaled to the gate count (roughly one input per 64 gates, one output per
+    128, with small floors), so 10^4- and 10^5-gate circuits keep realistic
+    netlist proportions.  Deterministic in [name]; generation is linear in
+    [gates]. *)
+
 val random_sop_network :
   name:string ->
   inputs:int ->

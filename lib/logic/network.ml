@@ -20,7 +20,10 @@ type node = { kind : kind; fanins : id array }
 type t = {
   mutable nodes : node array;
   mutable n : int;
-  mutable inputs : id list; (* reversed *)
+  (* Growable array of input ids in declaration order, so [input_id] is O(1)
+     (it used to rebuild the whole array from a reversed list per call,
+     which made name resolution quadratic on wide netlists). *)
+  mutable inputs : id array;
   mutable input_count : int;
   names : (string, id) Hashtbl.t;
   mutable input_names_rev : string list;
@@ -31,7 +34,7 @@ let create () =
   {
     nodes = Array.make 64 { kind = Const false; fanins = [||] };
     n = 0;
-    inputs = [];
+    inputs = Array.make 8 0;
     input_count = 0;
     names = Hashtbl.create 97;
     input_names_rev = [];
@@ -54,7 +57,12 @@ let push t node =
 let add_input t name =
   if Hashtbl.mem t.names name then invalid_arg ("Network.add_input: duplicate input " ^ name);
   let id = push t { kind = Input t.input_count; fanins = [||] } in
-  t.inputs <- id :: t.inputs;
+  if t.input_count >= Array.length t.inputs then begin
+    let bigger = Array.make (2 * Array.length t.inputs) 0 in
+    Array.blit t.inputs 0 bigger 0 t.input_count;
+    t.inputs <- bigger
+  end;
+  t.inputs.(t.input_count) <- id;
   t.input_count <- t.input_count + 1;
   t.input_names_rev <- name :: t.input_names_rev;
   Hashtbl.add t.names name id;
@@ -106,8 +114,8 @@ let input_names t = Array.of_list (List.rev t.input_names_rev)
 let outputs t = List.rev t.outputs_rev
 
 let input_id t i =
-  let arr = Array.of_list (List.rev t.inputs) in
-  arr.(i)
+  if i < 0 || i >= t.input_count then invalid_arg "Network.input_id: out of range";
+  t.inputs.(i)
 
 let find_input t name = Hashtbl.find_opt t.names name
 
@@ -187,19 +195,33 @@ let extract_outputs t which =
   Array.iter
     (fun name -> ignore (add_input fresh name))
     (input_names t);
-  let rec copy id =
-    if map.(id) >= 0 then map.(id)
-    else begin
-      let node = t.nodes.(id) in
-      let new_id =
+  (* Iterative DFS copy (stack-safe on 10^5-node-deep netlists).  Entries
+     are [2*id + phase]: phase 0 visits the node (expanding unresolved
+     fanins on top of a deferred phase-1 entry), phase 1 emits it once every
+     fanin is mapped.  Fanins are pushed in reverse so the leftmost resolves
+     first — the recursive copy's order, which fixes fresh-graph ids. *)
+  let copy root =
+    let stack = ref [ root lsl 1 ] in
+    while !stack <> [] do
+      let v = List.hd !stack in
+      stack := List.tl !stack;
+      let id = v lsr 1 in
+      if v land 1 = 1 then
+        let node = t.nodes.(id) in
+        map.(id) <- gate fresh node.kind (Array.map (fun f -> map.(f)) node.fanins)
+      else if map.(id) < 0 then begin
+        let node = t.nodes.(id) in
         match node.kind with
-        | Input k -> input_id fresh k
-        | Const b -> const fresh b
-        | kind -> gate fresh kind (Array.map copy node.fanins)
-      in
-      map.(id) <- new_id;
-      new_id
-    end
+        | Input k -> map.(id) <- input_id fresh k
+        | Const b -> map.(id) <- const fresh b
+        | _ ->
+            stack := ((id lsl 1) lor 1) :: !stack;
+            for i = Array.length node.fanins - 1 downto 0 do
+              stack := (node.fanins.(i) lsl 1) :: !stack
+            done
+      end
+    done;
+    map.(root)
   in
   let outs = Array.of_list (outputs t) in
   List.iter

@@ -391,6 +391,18 @@ let golden_tests =
                   (nest (shape (Core.Mig_flows.run (Core.Mig_flows.parse_exn script) mig))))
               Core.Mig_flows.canonical_names)
           (golden_nets ()));
+    test_case "area golden is unchanged with strash inserted" `Slow (fun () ->
+        (* At every cycle boundary the engine has just run Mig.cleanup, so
+           the graph is canonical and strash must be an exact no-op there:
+           the §9 table rows reproduce bit-for-bit with it spliced in. *)
+        let script = "cycle(40){strash; eliminate; reshape; eliminate}; strash; eliminate" in
+        List.iter
+          (fun (bench, net) ->
+            let mig = Core.Mig_of_network.convert net in
+            let expected = List.assoc (bench ^ "/area") golden in
+            check tuple6 (bench ^ "/area with strash") (nest expected)
+              (nest (shape (Core.Mig_flows.run (Core.Mig_flows.parse_exn script) mig))))
+          (golden_nets ()));
   ]
 
 (* ------------------------------------------------------------------ *)

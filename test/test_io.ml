@@ -170,14 +170,43 @@ let aiger_tests =
         match Io.Aiger.parse_string "aag 1 0 1 0 0\n2 3\n" with
         | exception Io.Aiger.Parse_error _ -> ()
         | _ -> fail "expected Parse_error");
+    test_case "binary: latches rejected" `Quick (fun () ->
+        match Io.Aiger.parse_binary_string "aig 1 0 1 0 0\n2\n" with
+        | exception Io.Aiger.Parse_error _ -> ()
+        | _ -> fail "expected Parse_error");
+    test_case "binary: truncated deltas rejected" `Quick (fun () ->
+        match Io.Aiger.parse_binary_string "aig 3 2 0 1 1\n6\n\x82" with
+        | exception Io.Aiger.Parse_error (pos, _) ->
+            check bool "byte offset past header" true (pos > 0)
+        | _ -> fail "expected Parse_error");
   ]
-  @ List.map
+  @ List.concat_map
       (fun (name, net) ->
-        Alcotest.test_case ("round-trip " ^ name) `Quick (fun () ->
-            let aig = Aig_lib.Aig_of_network.convert net in
-            let text = Io.Aiger.write_aig aig in
-            let back = Io.Aiger.parse_string text in
-            Alcotest.(check bool) "same function" true (equal_networks net back)))
+        [
+          Alcotest.test_case ("round-trip " ^ name) `Quick (fun () ->
+              let aig = Aig_lib.Aig_of_network.convert net in
+              let text = Io.Aiger.write_aig aig in
+              let back = Io.Aiger.parse_string text in
+              Alcotest.(check bool) "same function" true (equal_networks net back));
+          Alcotest.test_case ("binary round-trip " ^ name) `Quick (fun () ->
+              let aig = Aig_lib.Aig_of_network.convert net in
+              let bin = Io.Aiger.write_aig_binary aig in
+              let back = Io.Aiger.parse_binary_string bin in
+              Alcotest.(check bool) "same function" true (equal_networks net back));
+          Alcotest.test_case ("aag/aig twins byte-stable " ^ name) `Quick (fun () ->
+              (* The ASCII file and its binary twin must describe the same
+                 circuit so precisely that re-serializing either parse
+                 reproduces both byte streams. *)
+              let aig = Aig_lib.Aig_of_network.convert net in
+              let ascii = Io.Aiger.write_aig aig in
+              let bin = Io.Aiger.write_aig_binary aig in
+              let via_ascii = Aig_lib.Aig_of_network.convert (Io.Aiger.parse_string ascii) in
+              let via_bin = Aig_lib.Aig_of_network.convert (Io.Aiger.parse_binary_string bin) in
+              Alcotest.(check string) "ascii via ascii" ascii (Io.Aiger.write_aig via_ascii);
+              Alcotest.(check string) "ascii via binary" ascii (Io.Aiger.write_aig via_bin);
+              Alcotest.(check string) "binary via ascii" bin (Io.Aiger.write_aig_binary via_ascii);
+              Alcotest.(check string) "binary via binary" bin (Io.Aiger.write_aig_binary via_bin));
+        ])
       (sample_nets ())
 
 let gen_tests =
@@ -196,6 +225,64 @@ let gen_tests =
         check int "inputs" 12 (Network.num_inputs net);
         check int "outputs" 6 (Network.num_outputs net);
         check bool "gates" true (Network.num_gates net >= 5 * 20));
+    test_case "scale_network is deterministic and full-sized" `Quick (fun () ->
+        let a = Io.Gen.scale_network ~name:"tier" ~gates:2000 () in
+        let b = Io.Gen.scale_network ~name:"tier" ~gates:2000 () in
+        check bool "equal" true (equal_networks a b);
+        check bool "at least the requested gates" true (Network.num_gates a >= 2000);
+        (* every gate is live: the MIG conversion keeps ~ the nominal size *)
+        let mig = Core.Mig_of_network.convert a in
+        check bool "conversion keeps the tier live" true
+          (Core.Mig.size mig > 2000 * 3 / 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Scale: 10^5-node structures through every traversal that used to    *)
+(* recurse (parsers, extract_outputs, conversion, cleanup)             *)
+(* ------------------------------------------------------------------ *)
+
+let scale_tests =
+  let open Alcotest in
+  let deep = 100_000 in
+  [
+    test_case "100k-deep bench chain parses and copies" `Slow (fun () ->
+        (* A single AND chain: resolving output "g<deep>" walks the whole
+           chain; so does the extract_outputs cone copy. *)
+        let buf = Buffer.create (16 * deep) in
+        Buffer.add_string buf "INPUT(x)\nINPUT(y)\n";
+        Buffer.add_string buf (Printf.sprintf "OUTPUT(g%d)\n" deep);
+        Buffer.add_string buf "g1 = AND(x, y)\n";
+        for i = 2 to deep do
+          Buffer.add_string buf (Printf.sprintf "g%d = AND(g%d, x)\n" i (i - 1))
+        done;
+        let net = Io.Bench_format.parse_string (Buffer.contents buf) in
+        check int "gates" deep (Network.num_gates net);
+        let cone = Network.extract_outputs net [ 0 ] in
+        check int "copied cone" deep (Network.num_gates cone);
+        let mig = Core.Mig_of_network.convert net in
+        check int "mig size" deep (Core.Mig.size mig);
+        check int "cleanup keeps it" deep (Core.Mig.size (Core.Mig.cleanup mig)));
+    test_case "100k-deep blif chain parses" `Slow (fun () ->
+        let buf = Buffer.create (16 * deep) in
+        Buffer.add_string buf ".model chain\n.inputs x y\n";
+        Buffer.add_string buf (Printf.sprintf ".outputs g%d\n" deep);
+        Buffer.add_string buf ".names x y g1\n11 1\n";
+        for i = 2 to deep do
+          Buffer.add_string buf (Printf.sprintf ".names g%d x g%d\n11 1\n" (i - 1) i)
+        done;
+        Buffer.add_string buf ".end\n";
+        let net = Io.Blif.parse_string (Buffer.contents buf) in
+        check int "outputs" 1 (Network.num_outputs net));
+    test_case "100k-gate tier generates, serializes, and strashes" `Slow (fun () ->
+        let net = Io.Gen.scale_network ~name:"smoke100k" ~gates:deep () in
+        check bool "nominal size" true (Network.num_gates net >= deep);
+        let bin = Io.Aiger.write_network_binary net in
+        let back = Io.Aiger.parse_binary_string bin in
+        let mig = Core.Mig_of_network.convert back in
+        check bool "live size tracks the tier" true (Core.Mig.size mig > deep);
+        let strashed, _ = Core.Mig_passes.strash mig in
+        check int "strash preserves reachable size" (Core.Mig.size mig)
+          (Core.Mig.size strashed));
   ]
 
 let benchmark_tests =
@@ -339,6 +426,7 @@ let () =
       ("pla", pla_tests);
       ("aiger", aiger_tests);
       ("gen", gen_tests);
+      ("scale", scale_tests);
       ("benchmarks", benchmark_tests);
       ("export", export_tests);
       ("errors", error_tests);

@@ -272,6 +272,71 @@ let pass_props =
     preserves "balance pass preserves" (fun m -> ignore (Core.Mig_passes.balance m));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Strash pass                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* strash must (a) preserve the function, (b) be idempotent: a second
+   application finds a canonical graph and returns it untouched (physical
+   equality, changed = false). *)
+let strash_canonicalizes mig reference =
+  let once, _ = Core.Mig_passes.strash mig in
+  let twice, changed_again = Core.Mig_passes.strash once in
+  Core.Mig_equiv.equivalent reference once
+  && (not changed_again)
+  && twice == once
+
+let strash_props =
+  [
+    QCheck.Test.make ~name:"strash preserves equivalence and is idempotent"
+      ~count:60
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = mig_of_seed seed in
+        let reference = Core.Mig.cleanup mig in
+        (* dirty the graph: elimination leaves dead node records behind *)
+        ignore (Core.Mig_passes.eliminate mig);
+        strash_canonicalizes mig reference);
+  ]
+
+let strash_tests =
+  let open Alcotest in
+  [
+    test_case "no-op on a canonical graph returns it untouched" `Quick (fun () ->
+        let mig = Core.Mig.cleanup (full_adder_mig ()) in
+        let out, changed = Core.Mig_passes.strash mig in
+        check bool "same graph" true (out == mig);
+        check bool "unchanged" false changed);
+    test_case "compacts abandoned speculative gates" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig and b = Core.Mig.add_pi mig and c = Core.Mig.add_pi mig in
+        let keep = Core.Mig.maj mig a b c in
+        (* speculative node never wired to an output *)
+        ignore (Core.Mig.maj mig a (Core.Mig.not_ b) c);
+        ignore (Core.Mig.add_po mig keep);
+        let out, changed = Core.Mig_passes.strash mig in
+        check bool "changed" true changed;
+        check int "one live gate" 1 (Core.Mig.num_gates out);
+        check int "dense ids" (1 + 3 + 1) (Core.Mig.num_nodes out);
+        let again, changed_again = Core.Mig_passes.strash out in
+        check bool "idempotent" true (again == out && not changed_again));
+    test_case "strash canonicalizes Funcgen circuits" `Quick (fun () ->
+        List.iter
+          (fun (name, net) ->
+            let mig = Core.Mig_of_network.convert net in
+            let reference = Core.Mig.cleanup mig in
+            ignore (Core.Mig_passes.eliminate mig);
+            check bool name true (strash_canonicalizes mig reference))
+          [
+            ("full_adder", Funcgen.full_adder ());
+            ("rd53", Funcgen.rd 5 3);
+            ("comparator4", Funcgen.comparator 4);
+            ("parity9", Funcgen.parity 9);
+            ("mux_tree3", Funcgen.mux_tree 3);
+            ("alu4", Funcgen.alu4 ());
+          ]);
+  ]
+
 let optimizer_props =
   let check_opt name alg =
     QCheck.Test.make ~name ~count:25
@@ -657,6 +722,8 @@ let () =
       ("analysis-props", List.map QCheck_alcotest.to_alcotest analysis_props);
       ("algebra-props", List.map QCheck_alcotest.to_alcotest algebra_props);
       ("pass-props", List.map QCheck_alcotest.to_alcotest pass_props);
+      ("strash", strash_tests);
+      ("strash-props", List.map QCheck_alcotest.to_alcotest strash_props);
       ("optimizer-props", List.map QCheck_alcotest.to_alcotest optimizer_props);
       ("optimizers", optimizer_tests);
       ("conversion", conversion_tests);
