@@ -206,6 +206,13 @@ let () =
           ("rram-imp", fun m -> ignore (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Imp m));
           ("rram-maj", fun m -> ignore (Core.Mig_opt.rram_costs ~effort Core.Rram_cost.Maj m));
           ("steps", fun m -> ignore (Core.Mig_opt.steps ~effort m));
+          (* Wave scheduling on the fitted geometry: times the crossbar
+             backend itself (fit = one unbounded-column scheduling pass,
+             then the real compile), not the optimization in front of it. *)
+          ( "crossbar-maj",
+            fun m ->
+              let arch = Rram.Compile_crossbar.fit Core.Rram_cost.Maj m in
+              ignore (Rram.Compile_crossbar.compile ~arch Core.Rram_cost.Maj m) );
         ]
         @ List.map
             (fun spec ->
@@ -375,6 +382,21 @@ let () =
         (line Core.Rram_cost.Maj))
     [ "alu4"; "b9"; "cordic"; "t481" ];
   Format.printf "@]@.";
+
+  section "Crossbar-constrained mapping (serial vs parallel pulse waves)";
+  let xbar_entries =
+    List.filter_map Io.Benchmarks.find
+      [ "5xp1"; "alu4"; "b9"; "clip"; "cordic"; "t481" ]
+  in
+  let xbar, xbar_time =
+    wall (fun () -> Exp.Crossbar.run ~effort ~jobs ~entries:xbar_entries ())
+  in
+  Format.printf "%a" Exp.Crossbar.pp xbar;
+  Printf.printf "(crossbar sweep computed in %.2f s; full suite: migsyn crossbar)\n"
+    xbar_time;
+  Obs.Manifest.add_result "crossbar_rows"
+    (Obs.Json.Int (List.length xbar.Exp.Crossbar.rows));
+  Obs.Manifest.add_result "crossbar_seconds" (Obs.Json.Float xbar_time);
 
   section "Bechamel micro-benchmarks (one per table)";
   let table1_test =

@@ -214,6 +214,41 @@ let realization_arg =
     & opt realization_conv Core.Rram_cost.Maj
     & info [ "r"; "realization" ] ~docv:"R" ~doc:"RRAM realization: imp or maj.")
 
+(* --arch stays a raw string through cmdliner and is validated inside each
+   subcommand so the diagnostic follows the `migsyn <sub>: error: ...`
+   convention (cmdliner's conv errors carry only the tool name). *)
+let arch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "arch" ] ~docv:"ARCH"
+        ~doc:
+          "Execution architecture: $(b,serial) (the default unbounded-serial \
+           target, one device per register and one micro-operation per step) \
+           or a crossbar geometry $(b,ROWSxCOLUMNS), e.g. $(b,64x64). A \
+           crossbar geometry packs independent same-level gates into \
+           parallel pulse waves, one gate pulse per row per step.")
+
+(* Compile_mig.compile wraps crossbar mapping errors as
+   [Invalid_argument "Compile_mig.compile: ..."]; the internal prefix is
+   noise in a user-facing diagnostic. *)
+let strip_compile_prefix msg =
+  let prefix = "Compile_mig.compile: " in
+  let plen = String.length prefix in
+  if String.length msg >= plen && String.sub msg 0 plen = prefix then
+    String.sub msg plen (String.length msg - plen)
+  else msg
+
+let parse_arch_or_fail ~sub arch =
+  match arch with
+  | None -> Core.Rram_cost.Unbounded_serial
+  | Some text -> (
+      match Core.Rram_cost.parse_arch text with
+      | Ok a -> a
+      | Error e ->
+          prerr_endline ("migsyn " ^ sub ^ ": error: " ^ e);
+          exit 1)
+
 let jobs_arg =
   Arg.(
     value & opt int 0
@@ -399,8 +434,8 @@ let flow_cmd =
         | None -> ())
       Core.Mig_flows.canonical_names
   in
-  let run obs scripts file list portfolio cost effort jobs dump_out no_verify
-      stats input =
+  let run obs scripts file list portfolio cost effort jobs arch dump_out
+      no_verify stats input =
     with_obs ~sub:"flow" obs @@ fun () ->
     if list then list_passes ()
     else begin
@@ -413,6 +448,13 @@ let flow_cmd =
       let path = match input with Some p -> p | None -> fail "missing NETLIST argument" in
       ctx "input" (Obs.Json.String path);
       ctx "effort" (Obs.Json.Int effort);
+      let arch = parse_arch_or_fail ~sub:"flow" arch in
+      ctx "arch" (Obs.Json.String (Core.Rram_cost.arch_to_string arch));
+      (* The xbar_* accept_if costs read the flow-level architecture, so it
+         must be set before any script is parsed or raced. *)
+      (match arch with
+      | Core.Rram_cost.Crossbar _ -> Core.Mig_flows.set_arch arch
+      | Core.Rram_cost.Unbounded_serial -> ());
       let net = parse_netlist path in
       let mig = Core.Mig_of_network.convert net in
       let before_size, before_depth = Core.Mig_passes.size_and_depth mig in
@@ -479,7 +521,10 @@ let flow_cmd =
         before_depth depth;
       List.iter
         (fun realization ->
-          let r = Rram.Compile_mig.compile realization optimized in
+          let r =
+            try Rram.Compile_mig.compile ~arch realization optimized
+            with Invalid_argument msg -> fail "%s" (strip_compile_prefix msg)
+          in
           let verdict =
             if no_verify then ""
             else
@@ -519,8 +564,8 @@ let flow_cmd =
           vocabulary.")
     Term.(
       const run $ obs_term $ script_arg $ file_arg $ list_arg $ portfolio_arg
-      $ cost_arg $ effort_arg $ jobs_arg $ out_arg $ no_verify_arg $ stats_arg
-      $ input_opt_arg)
+      $ cost_arg $ effort_arg $ jobs_arg $ arch_arg $ out_arg $ no_verify_arg
+      $ stats_arg $ input_opt_arg)
 
 (* ---------------- map ---------------- *)
 
@@ -531,40 +576,74 @@ let map_cmd =
   let no_verify_arg =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip simulator verification.")
   in
-  let run obs path alg effort realization dump no_verify =
+  let run obs path alg effort realization arch dump no_verify =
     with_obs ~sub:"map" obs @@ fun () ->
     ctx "input" (Obs.Json.String path);
     ctx "algorithm" (Obs.Json.String (Core.Mig_opt.algorithm_name alg));
     ctx "effort" (Obs.Json.Int effort);
+    let arch = parse_arch_or_fail ~sub:"map" arch in
+    ctx "arch" (Obs.Json.String (Core.Rram_cost.arch_to_string arch));
     let net = parse_netlist path in
     let mig = Core.Mig_opt.run ~effort alg (Core.Mig_of_network.convert net) in
-    let r = Rram.Compile_mig.compile realization mig in
-    res "rrams" (Obs.Json.Int r.Rram.Compile_mig.measured_rrams);
-    res "steps" (Obs.Json.Int r.Rram.Compile_mig.measured_steps);
-    Format.printf
-      "%a realization after %s optimization:@.  Table I: %a@.  program: %d RRAMs, %d steps@."
-      Core.Rram_cost.pp_realization realization (Core.Mig_opt.algorithm_name alg)
-      Core.Rram_cost.pp r.Rram.Compile_mig.analytic r.Rram.Compile_mig.measured_rrams
-      r.Rram.Compile_mig.measured_steps;
-    let counts = Rram.Energy.static_counts r.Rram.Compile_mig.program in
+    let program, placement =
+      match arch with
+      | Core.Rram_cost.Unbounded_serial ->
+          let r = Rram.Compile_mig.compile realization mig in
+          res "rrams" (Obs.Json.Int r.Rram.Compile_mig.measured_rrams);
+          res "steps" (Obs.Json.Int r.Rram.Compile_mig.measured_steps);
+          Format.printf
+            "%a realization after %s optimization:@.  Table I: %a@.  program: %d RRAMs, %d steps@."
+            Core.Rram_cost.pp_realization realization
+            (Core.Mig_opt.algorithm_name alg) Core.Rram_cost.pp
+            r.Rram.Compile_mig.analytic r.Rram.Compile_mig.measured_rrams
+            r.Rram.Compile_mig.measured_steps;
+          (r.Rram.Compile_mig.program, Rram.Placement.place r.Rram.Compile_mig.program)
+      | Core.Rram_cost.Crossbar _ -> (
+          match Rram.Compile_crossbar.compile ~arch realization mig with
+          | Error e ->
+              prerr_endline ("migsyn map: error: " ^ e);
+              exit 1
+          | Ok c ->
+              let m = c.Rram.Compile_crossbar.measured in
+              res "rrams" (Obs.Json.Int m.Core.Rram_cost.devices);
+              res "steps" (Obs.Json.Int m.Core.Rram_cost.latency);
+              res "waves" (Obs.Json.Int c.Rram.Compile_crossbar.waves);
+              Format.printf
+                "%a realization after %s optimization, %s crossbar:@.  Table I (serial): %a@.  analytic: %a@.  measured: %a, %d waves@."
+                Core.Rram_cost.pp_realization realization
+                (Core.Mig_opt.algorithm_name alg)
+                (Core.Rram_cost.arch_to_string arch) Core.Rram_cost.pp
+                c.Rram.Compile_crossbar.serial Core.Rram_cost.pp_triple
+                c.Rram.Compile_crossbar.analytic Core.Rram_cost.pp_triple m
+                c.Rram.Compile_crossbar.waves;
+              let placement = c.Rram.Compile_crossbar.placement in
+              (match
+                 Rram.Program.validate
+                   ~row_of:placement.Rram.Placement.row_of
+                   c.Rram.Compile_crossbar.program
+               with
+              | Ok () -> Format.printf "  row discipline: one gate pulse per row per step@."
+              | Error e -> failwith ("internal error: " ^ e));
+              (c.Rram.Compile_crossbar.program, placement))
+    in
+    let counts = Rram.Energy.static_counts program in
     Format.printf
       "  pulses: %d loads, %d resets, %d IMP, %d MAJ (static energy %.1f a.u.)@."
       counts.Rram.Energy.loads counts.Rram.Energy.resets counts.Rram.Energy.imps
       counts.Rram.Energy.maj_pulses
-      (Rram.Energy.static_energy r.Rram.Compile_mig.program);
-    Format.printf "  placement: %a@." Rram.Placement.pp
-      (Rram.Placement.place r.Rram.Compile_mig.program);
+      (Rram.Energy.static_energy program);
+    Format.printf "  placement: %a@." Rram.Placement.pp placement;
     if not no_verify then begin
-      match Rram.Verify.against_network r.Rram.Compile_mig.program net with
+      match Rram.Verify.against_network program net with
       | Ok () -> Format.printf "  verified against the source netlist@."
       | Error e -> failwith ("verification failed: " ^ e)
     end;
-    if dump then Format.printf "@.%a@." Rram.Program.pp r.Rram.Compile_mig.program
+    if dump then Format.printf "@.%a@." Rram.Program.pp program
   in
   Cmd.v (Cmd.info "map" ~doc:"Compile a netlist to an RRAM program")
     Term.(
       const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg
-      $ realization_arg $ dump_arg $ no_verify_arg)
+      $ realization_arg $ arch_arg $ dump_arg $ no_verify_arg)
 
 (* ---------------- compare ---------------- *)
 
@@ -1018,13 +1097,15 @@ let profile_cmd =
             "Optimize with a flow script instead of the named algorithm \
              (see $(b,migsyn flow --list-passes)).")
   in
-  let run obs path alg effort realization max_vectors flow_script =
+  let run obs path alg effort realization arch max_vectors flow_script =
     (* profile always observes, with or without export flags *)
     Obs.set_enabled true;
     Obs.reset ();
     with_obs ~sub:"profile" obs @@ fun () ->
     ctx "input" (Obs.Json.String path);
     ctx "effort" (Obs.Json.Int effort);
+    let arch = parse_arch_or_fail ~sub:"profile" arch in
+    ctx "arch" (Obs.Json.String (Core.Rram_cost.arch_to_string arch));
     let flow =
       Option.map
         (fun text ->
@@ -1053,7 +1134,11 @@ let profile_cmd =
     res "depth" (Obs.Json.Int depth);
     let compiled =
       Obs.with_span ~cat:"profile" "profile/compile" (fun () ->
-          Rram.Compile_mig.compile realization optimized)
+          try Rram.Compile_mig.compile ~arch realization optimized
+          with Invalid_argument msg ->
+            prerr_endline
+              ("migsyn profile: error: " ^ strip_compile_prefix msg);
+            exit 1)
     in
     let program = compiled.Rram.Compile_mig.program in
     let reference = Core.Mig_sim.eval optimized in
@@ -1093,7 +1178,7 @@ let profile_cmd =
           --metrics for machine-readable output.")
     Term.(
       const run $ obs_term $ input_arg $ algorithm_arg $ effort_arg
-      $ realization_arg $ vectors_arg $ flow_arg)
+      $ realization_arg $ arch_arg $ vectors_arg $ flow_arg)
 
 (* ---------------- bench ---------------- *)
 
@@ -1126,6 +1211,78 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Run the paper's Table II flow for named benchmarks")
     Term.(const run $ obs_term $ effort_arg $ jobs_arg $ names_arg)
+
+(* ---------------- crossbar ---------------- *)
+
+let crossbar_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:"Benchmark names (default: the whole Table II suite).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the comparison as JSON (schema migsyn-crossbar/1, \
+             consumable by $(b,migsyn report)).")
+  in
+  let run obs effort jobs realization names json =
+    with_obs ~sub:"crossbar" obs @@ fun () ->
+    ctx "effort" (Obs.Json.Int effort);
+    let jobs = resolve_jobs jobs in
+    ctx "jobs" (Obs.Json.Int jobs);
+    let entries =
+      match names with
+      | [] -> Io.Benchmarks.table2
+      | names ->
+          List.map
+            (fun n ->
+              match Io.Benchmarks.find n with
+              | Some e -> e
+              | None ->
+                  prerr_endline ("migsyn crossbar: error: unknown benchmark " ^ n);
+                  exit 1)
+            names
+    in
+    let t = Exp.Crossbar.run ~effort ~realization ~jobs ~entries () in
+    Format.printf "%a@." Exp.Crossbar.pp t;
+    let unverified =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun p ->
+              if p.Exp.Crossbar.p_verified then None
+              else
+                Some
+                  (r.Exp.Crossbar.name ^ " @ "
+                  ^ Core.Rram_cost.arch_to_string p.Exp.Crossbar.p_arch))
+            r.Exp.Crossbar.points)
+        t.Exp.Crossbar.rows
+    in
+    res "benchmarks" (Obs.Json.Int (List.length t.Exp.Crossbar.rows));
+    res "unverified" (Obs.Json.Int (List.length unverified));
+    (match json with
+    | Some file ->
+        Obs.write_json file (Exp.Crossbar.to_json t);
+        Format.printf "wrote %s@." file
+    | None -> ());
+    if unverified <> [] then
+      failwith ("crossbar programs failed verification: " ^ String.concat ", " unverified)
+  in
+  Cmd.v
+    (Cmd.info "crossbar"
+       ~doc:
+         "Compare the unbounded-serial target against crossbar-constrained \
+          mapping on the paper's benchmarks: the fitted (minimum-latency) \
+          array plus half- and quarter-row geometries, every program \
+          re-verified on the device simulator and marked Pareto-optimal or \
+          dominated in the (devices, latency, utilization) space.")
+    Term.(
+      const run $ obs_term $ effort_arg $ jobs_arg $ realization_arg
+      $ names_arg $ json_arg)
 
 (* ---------------- report ---------------- *)
 
@@ -1240,6 +1397,7 @@ let subcommands =
     map_cmd;
     compare_cmd;
     bench_cmd;
+    crossbar_cmd;
     plim_cmd;
     export_cmd;
     gen_cmd;

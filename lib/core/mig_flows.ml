@@ -98,9 +98,19 @@ let () =
           (rewritten, Mig.size rewritten <> Mig.size mig));
     ]
 
+(* The architecture the xbar_* costs are evaluated against.  Scripts name
+   costs, not geometries, so the concrete target is ambient state set once
+   per run (the CLI's --arch does it before parsing the script); the
+   default keeps the costs meaningful without a flag. *)
+let arch = ref (Rram_cost.Crossbar { rows = 64; columns = 64 })
+let set_arch a = arch := a
+
 let costs : (string * (Mig.t -> float)) list =
   let cost_field realization f mig =
     float_of_int (f (Rram_cost.of_mig realization mig))
+  in
+  let xbar realization f mig =
+    f (Rram_cost.triple_of_levels ~arch:!arch realization (Mig_levels.compute mig))
   in
   [
     ("size", fun mig -> float_of_int (Mig_analysis.size (Mig_analysis.of_mig mig)));
@@ -111,6 +121,11 @@ let costs : (string * (Mig.t -> float)) list =
     ("steps_maj", cost_field Rram_cost.Maj (fun c -> c.Rram_cost.steps));
     ("weighted_imp", fun mig -> Rram_cost.weighted (Rram_cost.of_mig Rram_cost.Imp mig));
     ("weighted_maj", fun mig -> Rram_cost.weighted (Rram_cost.of_mig Rram_cost.Maj mig));
+    ("xbar_devices_imp", xbar Rram_cost.Imp (fun t -> float_of_int t.Rram_cost.devices));
+    ("xbar_devices_maj", xbar Rram_cost.Maj (fun t -> float_of_int t.Rram_cost.devices));
+    ("xbar_latency_imp", xbar Rram_cost.Imp (fun t -> float_of_int t.Rram_cost.latency));
+    ("xbar_latency_maj", xbar Rram_cost.Maj (fun t -> float_of_int t.Rram_cost.latency));
+    ("xbar_weighted_maj", xbar Rram_cost.Maj (Rram_cost.weighted_triple ?step_weight:None));
   ]
 
 let parse text = Flow.Script.parse ~registry ~costs text

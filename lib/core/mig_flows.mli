@@ -22,8 +22,18 @@ val ops : Mig.t Flow.ops
 
 val costs : (string * (Mig.t -> float)) list
 (** [accept_if] guard costs: [size], [depth], [rrams_imp], [steps_imp],
-    [rrams_maj], [steps_maj], and the scalarized [weighted_imp] /
-    [weighted_maj] of {!Rram_cost.weighted}. *)
+    [rrams_maj], [steps_maj], the scalarized [weighted_imp] /
+    [weighted_maj] of {!Rram_cost.weighted}, and the crossbar-aware
+    [xbar_devices_imp], [xbar_devices_maj], [xbar_latency_imp],
+    [xbar_latency_maj] and [xbar_weighted_maj]
+    ({!Rram_cost.triple_of_levels} against the ambient {!set_arch}
+    architecture), so flow scripts can optimize for a concrete array. *)
+
+val set_arch : Rram_cost.arch -> unit
+(** Set the architecture the [xbar_*] costs are evaluated against
+    (default: a 64×64 crossbar).  The CLI's [--arch] calls this before
+    parsing flow scripts; scripts themselves name costs, not
+    geometries. *)
 
 val parse : string -> (Mig.t Flow.t, Flow.Script.error) result
 (** Parse a flow script against {!registry} and {!costs}. *)

@@ -1,0 +1,67 @@
+(** Serial-vs-crossbar Pareto comparison over the paper's benchmark set.
+
+    For each Table II function, the step-optimized MIG (Alg. 4, the
+    [Step-*] columns) is compiled twice: once with the historical
+    unbounded-serial backend (one device per register, one micro-op per
+    step — the Table I model) and once per crossbar geometry with
+    {!Rram.Compile_crossbar}.  Three geometries are swept per function:
+    the {!Rram.Compile_crossbar.fit}ted array (minimum latency), and the
+    half- and quarter-row arrays (wide levels spill across extra waves —
+    latency traded for a narrower array at higher utilization).  Every
+    compiled program is re-verified against its MIG on the device
+    simulator, and each point is marked Pareto-optimal or dominated
+    within its row's {devices, latency, utilization} set (serial
+    included as a competitor).
+
+    On the fitted geometry the MAJ realization reproduces the serial
+    step count exactly, so the headline check — crossbar latency never
+    exceeds serial latency — holds with equality there; the constrained
+    points show what the serial model hides: the latency cost of a real,
+    bounded array. *)
+
+type point = {
+  p_arch : Core.Rram_cost.arch;
+  p_analytic : Core.Rram_cost.triple;  (** wave-model prediction *)
+  p_measured : Core.Rram_cost.triple;  (** from the compiled program *)
+  p_waves : int;
+  p_verified : bool;  (** simulator equivalence vs the source MIG *)
+  p_pareto : bool;
+      (** not dominated by any other point of this row (serial included) *)
+}
+
+type row = {
+  name : string;
+  inputs : int;
+  exact : bool;  (** see {!Io.Benchmarks.entry} *)
+  serial_analytic : Core.Rram_cost.cost;  (** Table I formula *)
+  serial_devices : int;  (** measured, unbounded-serial backend *)
+  serial_latency : int;
+  points : point list;  (** widest geometry first (the fitted array) *)
+}
+
+type t = {
+  realization : Core.Rram_cost.realization;
+  effort : int option;
+  rows : row list;
+  elapsed_seconds : float;
+}
+
+val row : ?effort:int -> realization:Core.Rram_cost.realization -> Io.Benchmarks.entry -> row
+
+val run :
+  ?effort:int ->
+  ?realization:Core.Rram_cost.realization ->
+  ?jobs:int ->
+  ?entries:Io.Benchmarks.entry list ->
+  unit ->
+  t
+(** The Table II sweep (default MAJ realization, [jobs = 1], all 25
+    functions).  Row content is deterministic; [elapsed_seconds] is the
+    only wall-clock field. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Obs.Json.t
+(** Schema ["migsyn-crossbar/1"]; [wall_seconds] is the only
+    non-deterministic member.  [Exp.Report] flattens these documents for
+    golden-file regression gating. *)

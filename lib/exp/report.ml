@@ -89,6 +89,59 @@ let montecarlo_rows json =
   in
   head :: arm_rows
 
+(* [wall_seconds] is skipped for the same reason as the Monte-Carlo rows:
+   golden comparisons must not regress on wall-clock noise. *)
+let crossbar_rows json =
+  let head =
+    {
+      r_key = [ "crossbar" ];
+      r_metrics = pick_metrics [ "effort"; "realization" ] json;
+    }
+  in
+  let rows =
+    List.concat_map
+      (fun r ->
+        let name = str_member "name" r in
+        let bench_row =
+          {
+            r_key = [ "crossbar"; name ];
+            r_metrics =
+              pick_metrics [ "inputs"; "exact" ] r
+              @ List.filter_map
+                  (fun key ->
+                    Option.map
+                      (fun v -> ("serial_" ^ key, v))
+                      (num_member key (Json.member "serial" r)))
+                  [ "rrams"; "steps"; "analytic_rrams"; "analytic_steps" ];
+          }
+        in
+        let point_rows =
+          List.map
+            (fun p ->
+              {
+                r_key = [ "crossbar"; name; str_member "arch" p ];
+                r_metrics =
+                  pick_metrics
+                    [
+                      "rows";
+                      "columns";
+                      "devices";
+                      "latency";
+                      "utilization";
+                      "analytic_latency";
+                      "waves";
+                      "verified";
+                      "pareto";
+                    ]
+                    p;
+              })
+            (Json.to_list (Json.member "points" r))
+        in
+        bench_row :: point_rows)
+      (Json.to_list (Json.member "rows" json))
+  in
+  head :: rows
+
 let bench2_rows json =
   let head =
     {
@@ -228,6 +281,7 @@ let rows_of_json ~path json =
     match schema with
     | "migsyn-bench-opt/1" -> bench_opt_rows json
     | "migsyn-montecarlo/1" -> montecarlo_rows json
+    | "migsyn-crossbar/1" -> crossbar_rows json
     | "migsyn-bench/2" -> bench2_rows json
     | "migsyn-run/1" -> run_rows json
     | "" -> failwith (path ^ ": no \"schema\" member; not a comparable document")

@@ -42,8 +42,8 @@ val noisy_metric : string -> bool
 
 val rows_of_json : path:string -> Obs.Json.t -> source
 (** Flatten one parsed document into comparable rows.  Supported schemas:
-    ["migsyn-bench-opt/1"], ["migsyn-montecarlo/1"], ["migsyn-bench/2"]
-    and ["migsyn-run/1"].
+    ["migsyn-bench-opt/1"], ["migsyn-montecarlo/1"], ["migsyn-crossbar/1"],
+    ["migsyn-bench/2"] and ["migsyn-run/1"].
     @raise Failure on an unknown or missing schema. *)
 
 val load : string -> source

@@ -1,0 +1,14 @@
+type t = Core.Rram_cost.arch =
+  | Unbounded_serial
+  | Crossbar of { rows : int; columns : int }
+
+let serial = Unbounded_serial
+let crossbar ~rows ~columns = Crossbar { rows; columns }
+let validate = Core.Rram_cost.validate_arch
+let parse = Core.Rram_cost.parse_arch
+let to_string = Core.Rram_cost.arch_to_string
+let pp = Core.Rram_cost.pp_arch
+
+let geometry = function
+  | Unbounded_serial -> None
+  | Crossbar { rows; columns } -> Some (rows, columns)

@@ -1,0 +1,34 @@
+(** The architecture model the mapping pipeline targets.
+
+    [Unbounded_serial] is the paper's implicit machine — an unbounded
+    device pool where every level executes in one batch of shared steps —
+    and stays the default of every entry point, reproducing the historical
+    programs bit-identically.  [Crossbar] is a fixed rows × columns array:
+    {!Compile_crossbar} places each gate's working set on one row, packs
+    independent same-level gates into parallel pulse waves across rows,
+    and spills a level over several waves when it is wider than the row
+    budget.
+
+    The type is an alias of {!Core.Rram_cost.arch} so the analytic cost
+    model ([lib/core], no dependency on this library) and the compiled
+    backends share one vocabulary. *)
+
+type t = Core.Rram_cost.arch =
+  | Unbounded_serial
+  | Crossbar of { rows : int; columns : int }
+
+val serial : t
+val crossbar : rows:int -> columns:int -> t
+
+val validate : t -> (unit, string) result
+(** Crossbar geometry must have at least one row and one column. *)
+
+val parse : string -> (t, string) result
+(** ["serial"] (or ["unbounded"]), or ["RxC"] with positive integers
+    (e.g. ["32x64"]); the error message names the offending text. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val geometry : t -> (int * int) option
+(** [(rows, columns)] of a crossbar, [None] for the unbounded target. *)

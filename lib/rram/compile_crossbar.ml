@@ -1,0 +1,638 @@
+module M = Core.Mig
+module L = Core.Mig_levels
+module RC = Core.Rram_cost
+
+type t = {
+  program : Program.t;
+  placement : Placement.t;
+  serial : RC.cost;
+  analytic : RC.triple;
+  measured : RC.triple;
+  waves : int;
+}
+
+exception Too_small of string
+
+let invert_micro realization ~src ~dst =
+  match realization with
+  | RC.Imp -> Isa.Imp { src; dst }
+  | RC.Maj -> Isa.Maj_pulse { p = Isa.Const true; q = Isa.Reg src; dst }
+
+(* Greedy row-disjoint batching: split a list of (row, pulse) pairs into the
+   fewest steps such that no step fires two pulses on one row, preserving
+   emission order inside each step. *)
+let batch_by_row items =
+  let batches = ref [] in
+  List.iter
+    (fun (row, micro) ->
+      let rec go = function
+        | [] ->
+            let rows_tbl = Hashtbl.create 7 in
+            Hashtbl.replace rows_tbl row ();
+            batches := !batches @ [ (rows_tbl, ref [ micro ]) ]
+        | (rows_tbl, micros) :: rest ->
+            if Hashtbl.mem rows_tbl row then go rest
+            else begin
+              Hashtbl.replace rows_tbl row ();
+              micros := micro :: !micros
+            end
+      in
+      go !batches)
+    items;
+  List.map (fun (_, micros) -> List.rev !micros) !batches
+
+type row_state = { mutable next_col : int; mutable free_cols : int list }
+
+type po_plan =
+  | Direct of Isa.operand
+  | Gate_result of int
+  | Inv_of_reg of { h : Isa.reg; inv : Isa.reg; row : int }
+  | Inv_of_gate of { n : int; inv : Isa.reg option ref; row : int option ref }
+
+(* The scheduler proper.  Deterministic: row choice is always the
+   lowest-index row satisfying the predicate, site choice the lowest free
+   column, so re-running with the measured geometry reproduces the program
+   bit for bit (every capacity check that passed under unbounded columns
+   passes under the measured maximum).  Raises [Too_small]. *)
+let run_waves ~rows ~columns realization mig lv =
+  let depth = lv.L.depth in
+  let num_inputs = M.num_pis mig in
+  let k_s = RC.steps_per_level realization in
+  let npulse = k_s - 1 in
+  (* ---- site allocation: one register per physical (row, column) site ---- *)
+  let row_states : (int, row_state) Hashtbl.t = Hashtbl.create 97 in
+  let opened = ref 0 in
+  let state r =
+    match Hashtbl.find_opt row_states r with
+    | Some s -> s
+    | None ->
+        let s = { next_col = 0; free_cols = [] } in
+        Hashtbl.replace row_states r s;
+        if r >= !opened then opened := r + 1;
+        s
+  in
+  let has_capacity s need =
+    let fresh = columns - s.next_col in
+    fresh >= need || fresh + List.length s.free_cols >= need
+  in
+  let reg_of_site = Hashtbl.create 997 in
+  let site_of_reg = Hashtbl.create 997 in
+  let next_reg = ref 0 in
+  let reg_at (r, c) =
+    match Hashtbl.find_opt reg_of_site (r, c) with
+    | Some reg -> reg
+    | None ->
+        let reg = !next_reg in
+        incr next_reg;
+        Hashtbl.replace reg_of_site (r, c) reg;
+        Hashtbl.replace site_of_reg reg (r, c);
+        reg
+  in
+  let take r =
+    let s = state r in
+    match s.free_cols with
+    | c :: rest ->
+        s.free_cols <- rest;
+        (r, c)
+    | [] ->
+        if s.next_col >= columns then
+          raise (Too_small (Printf.sprintf "row %d overflows %d columns" r columns));
+        let c = s.next_col in
+        s.next_col <- c + 1;
+        (r, c)
+  in
+  let rec insert_sorted c = function
+    | [] -> [ c ]
+    | x :: rest as l -> if c < x then c :: l else x :: insert_sorted c rest
+  in
+  (* Sites released mid-wave become reusable only at the next wave boundary,
+     so a step never reads a device another gate rewrote in the same wave. *)
+  let pending = ref [] in
+  let release_pending () =
+    List.iter
+      (fun (r, c) ->
+        let s = state r in
+        s.free_cols <- insert_sorted c s.free_cols)
+      (List.rev !pending);
+    pending := []
+  in
+  (* First row (lowest index) satisfying [ok]; opens at most one fresh row. *)
+  let scan_rows ok =
+    let rec go r =
+      if r >= rows then None
+      else if r >= !opened then if ok r then Some r else None
+      else if ok r then Some r
+      else go (r + 1)
+    in
+    go 0
+  in
+  (* ---- levels, liveness ---- *)
+  let by_level = Array.make (depth + 1) [] in
+  List.iter
+    (fun g ->
+      let l = lv.L.level.(g) in
+      by_level.(l) <- g :: by_level.(l))
+    lv.L.order;
+  Array.iteri (fun i gs -> by_level.(i) <- List.rev gs) by_level;
+  let refcount = Hashtbl.create 997 in
+  let bump n =
+    Hashtbl.replace refcount n
+      (1 + Option.value ~default:0 (Hashtbl.find_opt refcount n))
+  in
+  List.iter
+    (fun g ->
+      Array.iter
+        (fun s ->
+          let n = M.node_of s in
+          match M.kind mig n with M.Gate -> bump n | _ -> ())
+        (M.fanins mig g))
+    lv.L.order;
+  let pinned = Hashtbl.create 17 in
+  Array.iter
+    (fun s ->
+      let n = M.node_of s in
+      match M.kind mig n with M.Gate -> Hashtbl.replace pinned n () | _ -> ())
+    (M.pos mig);
+  let result_reg = Hashtbl.create 997 in
+  let result_site = Hashtbl.create 997 in
+  let consumed n =
+    match Hashtbl.find_opt refcount n with
+    | None -> ()
+    | Some k ->
+        let k = k - 1 in
+        Hashtbl.replace refcount n k;
+        if k = 0 && not (Hashtbl.mem pinned n) then
+          pending := Hashtbl.find result_site n :: !pending
+  in
+  (* ---- readout plan ---- *)
+  (* Rows already hosting a readout-inversion device; later inversions (and
+     IMP producers of complemented outputs) prefer other rows so the final
+     inversion step stays a single row-disjoint batch. *)
+  let readout_inv_rows = Hashtbl.create 17 in
+  let start_presets = ref [] in
+  let inv_plans = ref [] in
+  let po_memo = Hashtbl.create 17 in
+  let compl_po_imp = Hashtbl.create 17 in
+  let pick_inv_row need =
+    let cap r = has_capacity (state r) need in
+    match
+      scan_rows (fun r -> (not (Hashtbl.mem readout_inv_rows r)) && cap r)
+    with
+    | Some r -> r
+    | None -> (
+        match scan_rows cap with
+        | Some r -> r
+        | None ->
+            raise (Too_small "no row left for a readout inversion device"))
+  in
+  let po_plans =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt po_memo s with
+        | Some plan -> plan
+        | None ->
+            let n = M.node_of s and c = M.is_compl s in
+            let plan =
+              match M.kind mig n with
+              | M.Const -> Direct (Isa.Const c)
+              | M.Pi i ->
+                  if not c then Direct (Isa.Input i)
+                  else begin
+                    (* staging copy of the input plus its inversion device,
+                       paired on one row so the IMP readout pulse is legal *)
+                    let row = pick_inv_row 2 in
+                    Hashtbl.replace readout_inv_rows row ();
+                    let h = reg_at (take row) in
+                    let inv = reg_at (take row) in
+                    start_presets :=
+                      Isa.Load (h, Isa.Input i) :: Isa.Reset inv :: !start_presets;
+                    let plan = Inv_of_reg { h; inv; row } in
+                    inv_plans := plan :: !inv_plans;
+                    plan
+                  end
+              | M.Gate ->
+                  if not c then Gate_result n
+                  else begin
+                    let invr = ref None and rowr = ref None in
+                    (match realization with
+                    | RC.Maj ->
+                        (* electrode-read source: the inversion device can sit
+                           on any row, reserved up front *)
+                        let row = pick_inv_row 1 in
+                        Hashtbl.replace readout_inv_rows row ();
+                        let inv = reg_at (take row) in
+                        invr := Some inv;
+                        rowr := Some row;
+                        start_presets := Isa.Reset inv :: !start_presets
+                    | RC.Imp ->
+                        (* the IMP pulse needs src and dst on one row: the
+                           device is reserved on the producer's row when the
+                           producer is placed *)
+                        Hashtbl.replace compl_po_imp n (invr, rowr));
+                    let plan = Inv_of_gate { n; inv = invr; row = rowr } in
+                    inv_plans := plan :: !inv_plans;
+                    plan
+                  end
+            in
+            Hashtbl.replace po_memo s plan;
+            plan)
+      (M.pos mig)
+  in
+  (* ---- per-gate row demand (must mirror the emission allocation) ---- *)
+  let operand_row_need pos s =
+    let n = M.node_of s and c = M.is_compl s in
+    match (M.kind mig n, realization) with
+    | M.Const, _ -> 1
+    | (M.Pi _ | M.Gate), RC.Imp -> if c then 2 else 1
+    | M.Pi _, RC.Maj -> if c && pos = 2 then 2 else 1
+    | M.Gate, RC.Maj -> if c then (if pos = 2 then 1 else 0) else 1
+  in
+  let scratch = match realization with RC.Imp -> 3 | RC.Maj -> 1 in
+  let row_need g =
+    let need = ref scratch in
+    Array.iteri
+      (fun i s -> need := !need + operand_row_need i s)
+      (M.fanins mig g);
+    (match Hashtbl.find_opt compl_po_imp g with
+    | Some (invr, _) when !invr = None -> incr need
+    | _ -> ());
+    !need
+  in
+  (* ---- emission ---- *)
+  let steps_rev = ref [] in
+  let push_step step = if step <> [] then steps_rev := step :: !steps_rev in
+  let first_load_extra = ref (List.rev !start_presets) in
+  let waves = ref 0 in
+  let emit_wave placed =
+    let load = ref [] in
+    let wave_inv_rows = Hashtbl.create 17 in
+    let maj_inv = ref [] in
+    let imp_compl = Array.make 3 [] in
+    let gate_steps = Array.make npulse [] in
+    let wave_temps = ref [] in
+    (* pre-mark gate rows whose third operand is complemented: their
+       inversion device is the future pulse destination and must live on the
+       gate's own row, so spread inversions avoid those rows *)
+    (match realization with
+    | RC.Maj ->
+        List.iter
+          (fun (g, row) ->
+            let f = M.fanins mig g in
+            let s = f.(2) in
+            if M.is_compl s then
+              match M.kind mig (M.node_of s) with
+              | M.Pi _ | M.Gate -> Hashtbl.replace wave_inv_rows row ()
+              | M.Const -> ())
+          placed
+    | RC.Imp -> ());
+    List.iter
+      (fun (g, row) ->
+        let alloc_here () =
+          let site = take row in
+          (site, reg_at site)
+        in
+        let temp site reg = wave_temps := (site, reg) :: !wave_temps in
+        let alloc_temp () =
+          let site, reg = alloc_here () in
+          temp site reg;
+          reg
+        in
+        (* a MAJ inversion reads its source through the electrodes, so its
+           device spreads to any row with a free site — preferring rows
+           without another inversion this wave keeps the complement phase a
+           single parallel step *)
+        let alloc_inv_spread () =
+          let cap r = has_capacity (state r) 1 in
+          let pick =
+            match
+              scan_rows (fun r -> (not (Hashtbl.mem wave_inv_rows r)) && cap r)
+            with
+            | Some r -> Some r
+            | None -> scan_rows cap
+          in
+          match pick with
+          | None ->
+              raise (Too_small "no free device left for a complement inversion")
+          | Some r ->
+              Hashtbl.replace wave_inv_rows r ();
+              let site = take r in
+              let reg = reg_at site in
+              temp site reg;
+              (reg, r)
+        in
+        let operand_reg pos s =
+          let n = M.node_of s and c = M.is_compl s in
+          match M.kind mig n with
+          | M.Const ->
+              let r = alloc_temp () in
+              load := Isa.Load (r, Isa.Const c) :: !load;
+              (* signal 1 is ¬const0 = true *)
+              r
+          | M.Pi i ->
+              if not c then begin
+                let r = alloc_temp () in
+                load := Isa.Load (r, Isa.Input i) :: !load;
+                r
+              end
+              else begin
+                match realization with
+                | RC.Imp ->
+                    let h = alloc_temp () in
+                    let inv = alloc_temp () in
+                    load := Isa.Load (h, Isa.Input i) :: Isa.Reset inv :: !load;
+                    imp_compl.(pos) <-
+                      Isa.Imp { src = h; dst = inv } :: imp_compl.(pos);
+                    inv
+                | RC.Maj ->
+                    let h = alloc_temp () in
+                    let inv, inv_row =
+                      if pos = 2 then begin
+                        Hashtbl.replace wave_inv_rows row ();
+                        (alloc_temp (), row)
+                      end
+                      else alloc_inv_spread ()
+                    in
+                    load := Isa.Load (h, Isa.Input i) :: Isa.Reset inv :: !load;
+                    maj_inv :=
+                      (inv_row, invert_micro realization ~src:h ~dst:inv)
+                      :: !maj_inv;
+                    inv
+              end
+          | M.Gate -> (
+              let src = Hashtbl.find result_reg n in
+              let r =
+                if not c then begin
+                  let r = alloc_temp () in
+                  load := Isa.Load (r, Isa.Reg src) :: !load;
+                  r
+                end
+                else
+                  match realization with
+                  | RC.Imp ->
+                      (* the producer lives on another row: stage a copy on
+                         this gate's row so the inversion IMP is row-local *)
+                      let h = alloc_temp () in
+                      let inv = alloc_temp () in
+                      load := Isa.Load (h, Isa.Reg src) :: Isa.Reset inv :: !load;
+                      imp_compl.(pos) <-
+                        Isa.Imp { src = h; dst = inv } :: imp_compl.(pos);
+                      inv
+                  | RC.Maj ->
+                      let inv, inv_row =
+                        if pos = 2 then begin
+                          Hashtbl.replace wave_inv_rows row ();
+                          (alloc_temp (), row)
+                        end
+                        else alloc_inv_spread ()
+                      in
+                      load := Isa.Reset inv :: !load;
+                      maj_inv :=
+                        (inv_row, invert_micro realization ~src ~dst:inv)
+                        :: !maj_inv;
+                      inv
+              in
+              consumed n;
+              r)
+        in
+        let add_gate_micro i m = gate_steps.(i) <- m :: gate_steps.(i) in
+        let f = M.fanins mig g in
+        let x = operand_reg 0 f.(0) in
+        let y = operand_reg 1 f.(1) in
+        let z = operand_reg 2 f.(2) in
+        (match realization with
+        | RC.Imp ->
+            let a_site, a = alloc_here () in
+            let c = alloc_temp () in
+            let d = alloc_temp () in
+            load := Isa.Reset a :: Isa.Reset c :: Isa.Reset d :: !load;
+            (* steps 02–10 of §III-A.1 (x=X, y=Y, z=Z, a=A, c=B, d=C) *)
+            add_gate_micro 0 (Isa.Imp { src = x; dst = a });
+            add_gate_micro 1 (Isa.Imp { src = y; dst = c });
+            add_gate_micro 2 (Isa.Imp { src = a; dst = y });
+            add_gate_micro 3 (Isa.Imp { src = x; dst = c });
+            add_gate_micro 4 (Isa.Imp { src = y; dst = d });
+            add_gate_micro 5 (Isa.Imp { src = z; dst = d });
+            add_gate_micro 6 (Isa.Reset a);
+            add_gate_micro 7 (Isa.Imp { src = c; dst = a });
+            add_gate_micro 8 (Isa.Imp { src = d; dst = a });
+            Hashtbl.replace result_reg g a;
+            Hashtbl.replace result_site g a_site
+        | RC.Maj ->
+            let a = alloc_temp () in
+            load := Isa.Reset a :: !load;
+            (* step 02: A ← ¬y; step 03: Z ← M(x, y, z) *)
+            add_gate_micro 0
+              (Isa.Maj_pulse { p = Isa.Const true; q = Isa.Reg y; dst = a });
+            add_gate_micro 1
+              (Isa.Maj_pulse { p = Isa.Reg x; q = Isa.Reg a; dst = z });
+            Hashtbl.replace result_reg g z;
+            Hashtbl.replace result_site g (Hashtbl.find site_of_reg z);
+            (* z doubles as the result: exclude it from the temps *)
+            wave_temps := List.filter (fun (_, r) -> r <> z) !wave_temps);
+        (* reserve the readout-inversion device for a complemented output of
+           this gate on its own row, preset alongside this wave's loads *)
+        (match Hashtbl.find_opt compl_po_imp g with
+        | Some (invr, rowr) when !invr = None ->
+            let _, inv = alloc_here () in
+            invr := Some inv;
+            rowr := Some row;
+            Hashtbl.replace readout_inv_rows row ();
+            load := Isa.Reset inv :: !load
+        | _ -> ());
+        match Hashtbl.find_opt refcount g with
+        | Some k when k > 0 -> ()
+        | _ ->
+            if not (Hashtbl.mem pinned g) then
+              pending := Hashtbl.find result_site g :: !pending)
+      placed;
+    let extra = !first_load_extra in
+    first_load_extra := [];
+    push_step (List.rev !load @ extra);
+    (match realization with
+    | RC.Imp -> Array.iter (fun l -> push_step (List.rev l)) imp_compl
+    | RC.Maj -> List.iter push_step (batch_by_row (List.rev !maj_inv)));
+    Array.iter (fun st -> push_step (List.rev st)) gate_steps;
+    List.iter (fun (site, _) -> pending := site :: !pending) !wave_temps
+  in
+  for l = 1 to depth do
+    let remaining = ref by_level.(l) in
+    while !remaining <> [] do
+      release_pending ();
+      incr waves;
+      let used_rows = Hashtbl.create 17 in
+      let placed = ref [] and deferred = ref [] in
+      List.iter
+        (fun g ->
+          let need = row_need g in
+          if need > columns then
+            raise
+              (Too_small
+                 (Printf.sprintf
+                    "gate %d needs %d devices on one row but the crossbar has \
+                     only %d columns"
+                    g need columns));
+          let prefer_unused_by_inv =
+            match Hashtbl.find_opt compl_po_imp g with
+            | Some (invr, _) -> !invr = None
+            | None -> false
+          in
+          let ok r =
+            (not (Hashtbl.mem used_rows r)) && has_capacity (state r) need
+          in
+          let pick =
+            if prefer_unused_by_inv then
+              match
+                scan_rows (fun r ->
+                    ok r && not (Hashtbl.mem readout_inv_rows r))
+              with
+              | Some r -> Some r
+              | None -> scan_rows ok
+            else scan_rows ok
+          in
+          match pick with
+          | Some r ->
+              Hashtbl.replace used_rows r ();
+              placed := (g, r) :: !placed
+          | None -> deferred := g :: !deferred)
+        !remaining;
+      (match !placed with
+      | [] ->
+          let g = List.hd !remaining in
+          raise
+            (Too_small
+               (Printf.sprintf
+                  "level %d: gate %d needs %d devices on one row and no %dx%d \
+                   row can host it (live values occupy the array)"
+                  l g (row_need g) rows columns))
+      | _ -> ());
+      emit_wave (List.rev !placed);
+      remaining := List.rev !deferred
+    done
+  done;
+  (* Degenerate case: no gate wave to merge the presets into. *)
+  if !first_load_extra <> [] then begin
+    push_step !first_load_extra;
+    first_load_extra := []
+  end;
+  (* Final readout inversions, batched so each step is row-disjoint (a single
+     step whenever the reservations above found distinct rows). *)
+  let final_items =
+    List.filter_map
+      (fun plan ->
+        match plan with
+        | Inv_of_reg { h; inv; row } ->
+            Some (row, invert_micro realization ~src:h ~dst:inv)
+        | Inv_of_gate { n; inv; row } ->
+            let src = Hashtbl.find result_reg n in
+            Some
+              ( Option.get !row,
+                invert_micro realization ~src ~dst:(Option.get !inv) )
+        | Direct _ | Gate_result _ -> None)
+      (List.rev !inv_plans)
+  in
+  List.iter push_step (batch_by_row final_items);
+  let outputs =
+    Array.map
+      (function
+        | Direct o -> o
+        | Gate_result n -> Isa.Reg (Hashtbl.find result_reg n)
+        | Inv_of_reg { inv; _ } -> Isa.Reg inv
+        | Inv_of_gate { inv; _ } -> Isa.Reg (Option.get !inv))
+      po_plans
+  in
+  let program =
+    {
+      Program.num_inputs;
+      num_regs = !next_reg;
+      steps = List.rev !steps_rev;
+      outputs;
+    }
+  in
+  let n = max 1 !next_reg in
+  let row_of = Array.make n 0 and column_of = Array.make n 0 in
+  for r = 0 to !next_reg - 1 do
+    let row, col = Hashtbl.find site_of_reg r in
+    row_of.(r) <- row;
+    column_of.(r) <- col
+  done;
+  let max_col =
+    let m = ref 0 in
+    for r = 0 to !opened - 1 do
+      m := max !m (state r).next_col
+    done;
+    !m
+  in
+  (program, row_of, column_of, !waves, max_col)
+
+let fit_rows realization mig lv =
+  let depth = lv.L.depth in
+  let widths = ref 0 and compl_max = ref 0 in
+  for i = 1 to depth do
+    if i < Array.length lv.L.gates_per_level then
+      widths := max !widths lv.L.gates_per_level.(i);
+    if i < Array.length lv.L.compl_per_level then
+      compl_max := max !compl_max lv.L.compl_per_level.(i)
+  done;
+  (* one row per distinct complemented output signal keeps the readout
+     inversion a single step *)
+  let readout = Hashtbl.create 17 in
+  Array.iter
+    (fun s ->
+      if M.is_compl s then
+        match M.kind mig (M.node_of s) with
+        | M.Pi _ | M.Gate -> Hashtbl.replace readout s ()
+        | M.Const -> ())
+    (M.pos mig);
+  let compl_rows =
+    match realization with RC.Imp -> 0 | RC.Maj -> !compl_max
+  in
+  max 1 (max !widths (max compl_rows (Hashtbl.length readout)))
+
+let fit ?schedule ?rows realization mig =
+  let lv = match schedule with Some lv -> lv | None -> L.compute mig in
+  let rows =
+    match rows with
+    | Some r -> max 1 r
+    | None -> fit_rows realization mig lv
+  in
+  let _, _, _, _, max_col =
+    run_waves ~rows ~columns:max_int realization mig lv
+  in
+  RC.Crossbar { rows; columns = max max_col 1 }
+
+let compile ?schedule ~arch realization mig =
+  match arch with
+  | RC.Unbounded_serial ->
+      Error "the crossbar backend needs a crossbar geometry, not 'serial'"
+  | RC.Crossbar { rows; columns } -> (
+      match RC.validate_arch arch with
+      | Error e -> Error e
+      | Ok () -> (
+          let lv = match schedule with Some lv -> lv | None -> L.compute mig in
+          match run_waves ~rows ~columns realization mig lv with
+          | exception Too_small msg -> Error msg
+          | program, row_of, column_of, waves, _ ->
+              let devices = program.Program.num_regs in
+              let capacity = rows * columns in
+              let utilization =
+                float_of_int devices /. float_of_int capacity
+              in
+              let placement =
+                { Placement.rows; columns; row_of; column_of; utilization }
+              in
+              let measured =
+                {
+                  RC.devices;
+                  latency = Program.num_steps program;
+                  utilization;
+                }
+              in
+              Ok
+                {
+                  program;
+                  placement;
+                  serial = RC.of_levels realization lv;
+                  analytic = RC.triple_of_levels ~arch realization lv;
+                  measured;
+                  waves;
+                }))

@@ -3,6 +3,8 @@ type result = {
   analytic : Core.Rram_cost.cost;
   measured_rrams : int;
   measured_steps : int;
+  placement : Placement.t option;
+  cost : Core.Rram_cost.triple;
 }
 
 let invert_micro realization ~src ~dst =
@@ -10,7 +12,7 @@ let invert_micro realization ~src ~dst =
   | Core.Rram_cost.Imp -> Isa.Imp { src; dst }
   | Core.Rram_cost.Maj -> Isa.Maj_pulse { p = Isa.Const true; q = Isa.Reg src; dst }
 
-let compile ?schedule realization mig =
+let compile_serial ?schedule realization mig =
   let lv = match schedule with Some lv -> lv | None -> Core.Mig_levels.compute mig in
   let depth = lv.Core.Mig_levels.depth in
   let analytic = Core.Rram_cost.of_levels realization lv in
@@ -216,4 +218,28 @@ let compile ?schedule realization mig =
     analytic;
     measured_rrams = program.Program.num_regs;
     measured_steps = Program.num_steps program;
+    placement = None;
+    cost =
+      {
+        Core.Rram_cost.devices = program.Program.num_regs;
+        latency = Program.num_steps program;
+        utilization = 1.0;
+      };
   }
+
+let compile ?schedule ?(arch = Core.Rram_cost.Unbounded_serial) realization mig
+    =
+  match arch with
+  | Core.Rram_cost.Unbounded_serial -> compile_serial ?schedule realization mig
+  | Core.Rram_cost.Crossbar _ -> (
+      match Compile_crossbar.compile ?schedule ~arch realization mig with
+      | Error e -> invalid_arg ("Compile_mig.compile: " ^ e)
+      | Ok r ->
+          {
+            program = r.Compile_crossbar.program;
+            analytic = r.Compile_crossbar.serial;
+            measured_rrams = r.Compile_crossbar.measured.Core.Rram_cost.devices;
+            measured_steps = r.Compile_crossbar.measured.Core.Rram_cost.latency;
+            placement = Some r.Compile_crossbar.placement;
+            cost = r.Compile_crossbar.measured;
+          })

@@ -20,9 +20,28 @@ type result = {
   analytic : Core.Rram_cost.cost;  (** Table I formula *)
   measured_rrams : int;
   measured_steps : int;
+  placement : Placement.t option;
+      (** the row/column assignment the crossbar backend used; [None] for
+          the unbounded-serial target (use {!Placement.place} to derive a
+          worst-case report) *)
+  cost : Core.Rram_cost.triple;
+      (** measured (devices, latency, utilization); under
+          [Unbounded_serial] this mirrors [measured_rrams] /
+          [measured_steps] with utilization 1 *)
 }
 
 val compile :
-  ?schedule:Core.Mig_levels.t -> Core.Rram_cost.realization -> Core.Mig.t -> result
+  ?schedule:Core.Mig_levels.t ->
+  ?arch:Arch.t ->
+  Core.Rram_cost.realization ->
+  Core.Mig.t ->
+  result
 (** [schedule] overrides the default ASAP level assignment (see
-    {!Core.Mig_schedule}); it must be dependency-valid. *)
+    {!Core.Mig_schedule}); it must be dependency-valid.  [arch] (default
+    [Unbounded_serial], which reproduces the historical programs
+    bit-identically) selects the execution target; a [Crossbar] geometry
+    routes through {!Compile_crossbar}.
+
+    @raise Invalid_argument when a crossbar geometry cannot host the
+    circuit (the CLI validates geometries up front; careful callers use
+    {!Compile_crossbar.compile} directly for a [result]-typed error). *)

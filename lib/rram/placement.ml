@@ -33,7 +33,17 @@ let place (p : Program.t) =
         (fun micro ->
           match micro with
           | Isa.Imp { src; dst } -> union parent src dst
-          | Isa.Load _ | Isa.Reset _ | Isa.Maj_pulse _ -> ())
+          | Isa.Maj_pulse { p; q; dst } ->
+              (* electrically row-free (electrode-driven), but the registers
+                 form one gate's working set: group them so MAJ programs
+                 report a Fig. 3-style gate-per-row layout instead of the
+                 degenerate one-device-per-row answer *)
+              let operand o =
+                match o with Isa.Reg r -> union parent r dst | _ -> ()
+              in
+              operand p;
+              operand q
+          | Isa.Load _ | Isa.Reset _ -> ())
         step)
     p.Program.steps;
   (* collect clusters *)

@@ -8,19 +8,24 @@
 
     - registers that interact through {!Isa.Imp} pulses (p and q share the
       nanowire) are grouped into row-clusters by union-find;
+    - registers feeding an {!Isa.Maj_pulse} join the pulse destination's
+      cluster too — electrically they are row-free (electrode-driven), but
+      they form one gate's working set, so MAJ programs report a
+      Fig. 3-style gate-per-row layout instead of the degenerate
+      one-device-per-row answer;
     - clusters are packed onto rows first-fit-decreasing;
-    - {!Isa.Maj_pulse} and {!Isa.Load} are driven through the top
-      electrodes, so they impose no row constraint.
+    - {!Isa.Load} is driven through the top electrodes and never
+      constrains placement.
 
     The result reports the array geometry a controller would need —
     rows, row width (columns), utilization.
 
     Caveat: the compiler's register reuse makes one physical device serve
-    many gates over time, so the transitive IMP-interaction clusters can
-    merge into few long rows (IMP realization) or none at all (MAJ programs
-    have no IMP pulses, so every device is row-free).  The numbers are an
-    honest worst case for the given program; row-aware register allocation
-    that splits clusters is future work. *)
+    many gates over time, so the transitive interaction clusters can merge
+    into few long rows.  The numbers are an honest worst case for a
+    {e serial} program; {!Compile_crossbar} is the row-aware register
+    allocator that splits clusters against a fixed geometry and returns
+    the placement it actually used. *)
 
 type t = {
   rows : int;

@@ -7,7 +7,7 @@ type t = {
 
 let num_steps t = List.length t.steps
 
-let validate t =
+let validate ?row_of t =
   let check_operand = function
     | Isa.Input i when i < 0 || i >= t.num_inputs -> Error "input out of range"
     | Isa.Reg r when r < 0 || r >= t.num_regs -> Error "register out of range"
@@ -15,21 +15,39 @@ let validate t =
   in
   let check_step step =
     let written = Hashtbl.create 7 in
+    let pulse_rows = Hashtbl.create 7 in
     List.fold_left
       (fun acc micro ->
         match acc with
         | Error _ -> acc
-        | Ok () ->
+        | Ok () -> (
             let dst = Isa.micro_dst micro in
             if dst < 0 || dst >= t.num_regs then Error "destination out of range"
             else if Hashtbl.mem written dst then
               Error "two writes to one device in a step"
             else begin
               Hashtbl.add written dst ();
-              List.fold_left
-                (fun acc o -> match acc with Error _ -> acc | Ok () -> check_operand o)
-                (Ok ()) (Isa.micro_reads micro)
-            end)
+              let row_check =
+                match (row_of, micro) with
+                | Some rows, (Isa.Imp _ | Isa.Maj_pulse _) ->
+                    (* a gate pulse drives its destination's row nanowire *)
+                    let row = rows.(dst) in
+                    if Hashtbl.mem pulse_rows row then
+                      Error "two gate pulses on one row in a step"
+                    else begin
+                      Hashtbl.add pulse_rows row ();
+                      Ok ()
+                    end
+                | _ -> Ok ()
+              in
+              match row_check with
+              | Error _ as e -> e
+              | Ok () ->
+                  List.fold_left
+                    (fun acc o ->
+                      match acc with Error _ -> acc | Ok () -> check_operand o)
+                    (Ok ()) (Isa.micro_reads micro)
+            end))
       (Ok ()) step
   in
   let step_result =

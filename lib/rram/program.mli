@@ -17,9 +17,14 @@ type t = {
 
 val num_steps : t -> int
 
-val validate : t -> (unit, string) result
+val validate : ?row_of:int array -> t -> (unit, string) result
 (** Structural checks: register bounds, one write per register per step, no
-    micro-op reading an input line that does not exist. *)
+    micro-op reading an input line that does not exist.  With [~row_of]
+    (register → row, e.g. {!Placement.t.row_of}) additionally enforces the
+    crossbar pulse discipline: a gate pulse ([Imp] or [Maj_pulse]) drives
+    the row nanowire of its destination, so no step may fire two gate
+    pulses on one row.  Serial programs generally fail this stricter
+    check — it is meant for {!Compile_crossbar} output. *)
 
 val pp : Format.formatter -> t -> unit
 (** Full listing (one line per step). *)

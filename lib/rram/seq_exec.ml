@@ -7,11 +7,11 @@ type t = {
   init : bool array;
 }
 
-let compile ?(algorithm = Core.Mig_opt.Steps) ?effort realization seq =
+let compile ?(algorithm = Core.Mig_opt.Steps) ?effort ?arch realization seq =
   let mig =
     Core.Mig_opt.run ?effort algorithm (Core.Mig_of_network.convert (Seq.combinational seq))
   in
-  let compiled = Compile_mig.compile realization mig in
+  let compiled = Compile_mig.compile ?arch realization mig in
   {
     program = compiled.Compile_mig.program;
     num_pis = Seq.num_pis seq;

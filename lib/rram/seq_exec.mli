@@ -13,10 +13,14 @@ type t
 val compile :
   ?algorithm:Core.Mig_opt.algorithm ->
   ?effort:int ->
+  ?arch:Arch.t ->
   Core.Rram_cost.realization ->
   Logic.Seq.t ->
   t
-(** Optimize (default: Alg. 4) and compile the combinational core. *)
+(** Optimize (default: Alg. 4) and compile the combinational core.
+    [arch] (default unbounded serial) compiles the per-cycle program for a
+    concrete crossbar geometry — see {!Compile_mig.compile}; the per-cycle
+    latency then reflects the row-constrained wave schedule. *)
 
 val steps_per_cycle : t -> int
 val rrams : t -> int

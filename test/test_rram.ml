@@ -346,6 +346,235 @@ let placement_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Crossbar-constrained compilation                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Full contract of the crossbar backend on a fitted geometry: the program
+   is structurally valid under the per-step row discipline, the placement
+   is consistent, the parallel-wave execution computes the same function as
+   the MIG, and the latency matches the serial compiler (exactly for MAJ;
+   IMP pays one complement sub-step per extra operand position in use,
+   which the serial model understates). *)
+let crossbar_check mig =
+  List.iter
+    (fun realization ->
+      let serial = Rram.Compile_mig.compile realization mig in
+      let arch = Rram.Compile_crossbar.fit realization mig in
+      match Rram.Compile_crossbar.compile ~arch realization mig with
+      | Error e -> Alcotest.fail ("fit geometry rejected: " ^ e)
+      | Ok r ->
+          let p = r.Rram.Compile_crossbar.program in
+          let placement = r.Rram.Compile_crossbar.placement in
+          (match
+             Rram.Program.validate ~row_of:placement.Rram.Placement.row_of p
+           with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("row discipline: " ^ e));
+          (match Rram.Placement.validate p placement with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("placement: " ^ e));
+          (match Rram.Verify.against_mig p mig with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("crossbar program diverges: " ^ e));
+          let latency = r.Rram.Compile_crossbar.measured.Core.Rram_cost.latency in
+          let serial_steps = serial.Rram.Compile_mig.measured_steps in
+          (match realization with
+          | Core.Rram_cost.Maj ->
+              Alcotest.(check int)
+                "MAJ fitted latency = serial steps" serial_steps latency
+          | Core.Rram_cost.Imp ->
+              let depth = (Core.Mig_levels.compute mig).Core.Mig_levels.depth in
+              Alcotest.(check bool)
+                "IMP fitted latency within complement-rotation slack" true
+                (latency <= serial_steps + (2 * depth) + 2));
+          Alcotest.(check bool)
+            "devices within capacity" true
+            (match arch with
+            | Core.Rram_cost.Crossbar { rows; columns } ->
+                r.Rram.Compile_crossbar.measured.Core.Rram_cost.devices
+                <= rows * columns
+            | Core.Rram_cost.Unbounded_serial -> false))
+    [ Core.Rram_cost.Imp; Core.Rram_cost.Maj ]
+
+(* Halving the row budget must still produce an equivalent program — waves
+   just serialize — and can only increase latency. *)
+let crossbar_constrained_check mig =
+  let realization = Core.Rram_cost.Maj in
+  match Rram.Compile_crossbar.fit realization mig with
+  | Core.Rram_cost.Unbounded_serial -> ()
+  | Core.Rram_cost.Crossbar { rows; columns = _ } ->
+      if rows > 1 then begin
+        let fitted =
+          match
+            Rram.Compile_crossbar.compile
+              ~arch:(Rram.Compile_crossbar.fit realization mig)
+              realization mig
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.fail e
+        in
+        let arch =
+          Core.Rram_cost.Crossbar { rows = (rows + 1) / 2; columns = 256 }
+        in
+        match Rram.Compile_crossbar.compile ~arch realization mig with
+        | Error e -> Alcotest.fail ("halved rows rejected: " ^ e)
+        | Ok r ->
+            let p = r.Rram.Compile_crossbar.program in
+            (match
+               Rram.Program.validate
+                 ~row_of:r.Rram.Compile_crossbar.placement.Rram.Placement.row_of
+                 p
+             with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("row discipline: " ^ e));
+            (match Rram.Verify.against_mig p mig with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("constrained program diverges: " ^ e));
+            Alcotest.(check bool)
+              "halving rows never speeds the program up" true
+              (r.Rram.Compile_crossbar.measured.Core.Rram_cost.latency
+              >= fitted.Rram.Compile_crossbar.measured.Core.Rram_cost.latency);
+            Alcotest.(check bool)
+              "spilled levels need more waves" true
+              (r.Rram.Compile_crossbar.waves >= fitted.Rram.Compile_crossbar.waves)
+      end
+
+let crossbar_tests =
+  let open Alcotest in
+  let of_net net = Core.Mig_of_network.convert net in
+  [
+    test_case "single MAJ gate fits a 1x4 array in 3 steps" `Quick (fun () ->
+        let mig = single_maj_mig () in
+        let arch = Rram.Compile_crossbar.fit Core.Rram_cost.Maj mig in
+        (match arch with
+        | Core.Rram_cost.Crossbar { rows; columns } ->
+            check int "rows" 1 rows;
+            check int "columns" 4 columns
+        | Core.Rram_cost.Unbounded_serial -> fail "expected a crossbar");
+        match Rram.Compile_crossbar.compile ~arch Core.Rram_cost.Maj mig with
+        | Error e -> fail e
+        | Ok r ->
+            check int "latency" 3
+              r.Rram.Compile_crossbar.measured.Core.Rram_cost.latency;
+            check int "devices" 4
+              r.Rram.Compile_crossbar.measured.Core.Rram_cost.devices;
+            check int "waves" 1 r.Rram.Compile_crossbar.waves);
+    test_case "fitted geometry runs one wave per level" `Quick (fun () ->
+        let mig = of_net (Funcgen.ripple_adder 4) in
+        let arch = Rram.Compile_crossbar.fit Core.Rram_cost.Maj mig in
+        match Rram.Compile_crossbar.compile ~arch Core.Rram_cost.Maj mig with
+        | Error e -> fail e
+        | Ok r ->
+            check int "waves = depth"
+              (Core.Mig_levels.compute mig).Core.Mig_levels.depth
+              r.Rram.Compile_crossbar.waves);
+    test_case "benchmarks map on fitted geometries" `Quick (fun () ->
+        List.iter
+          (fun net -> crossbar_check (of_net net))
+          [
+            Funcgen.full_adder ();
+            Funcgen.ripple_adder 4;
+            Funcgen.rd 5 3;
+            Funcgen.parity 8;
+            Funcgen.comparator 4;
+            Funcgen.clip ();
+          ]);
+    test_case "complemented primary outputs read out correctly" `Quick (fun () ->
+        let mig = Core.Mig.create () in
+        let a = Core.Mig.add_pi mig
+        and b = Core.Mig.add_pi mig
+        and c = Core.Mig.add_pi mig in
+        let g = Core.Mig.maj mig a b c in
+        ignore (Core.Mig.add_po mig (Core.Mig.not_ g));
+        ignore (Core.Mig.add_po mig (Core.Mig.not_ a));
+        ignore (Core.Mig.add_po mig g);
+        crossbar_check mig);
+    test_case "row budget forces extra waves" `Quick (fun () ->
+        crossbar_constrained_check (of_net (Funcgen.ripple_adder 4));
+        crossbar_constrained_check (of_net (Funcgen.rd 5 3)));
+    test_case "the serial target is rejected by the backend" `Quick (fun () ->
+        match
+          Rram.Compile_crossbar.compile ~arch:Core.Rram_cost.Unbounded_serial
+            Core.Rram_cost.Maj (single_maj_mig ())
+        with
+        | Error _ -> ()
+        | Ok _ -> fail "expected an error");
+    test_case "a too-narrow crossbar is rejected with a reason" `Quick
+      (fun () ->
+        match
+          Rram.Compile_crossbar.compile
+            ~arch:(Core.Rram_cost.Crossbar { rows = 4; columns = 2 })
+            Core.Rram_cost.Imp (single_maj_mig ())
+        with
+        | Error e ->
+            check bool "mentions the column budget" true
+              (String.length e > 0)
+        | Ok _ -> fail "expected an error");
+    test_case "architecture parsing" `Quick (fun () ->
+        (match Core.Rram_cost.parse_arch "32x64" with
+        | Ok (Core.Rram_cost.Crossbar { rows = 32; columns = 64 }) -> ()
+        | _ -> fail "32x64 should parse");
+        (match Core.Rram_cost.parse_arch "serial" with
+        | Ok Core.Rram_cost.Unbounded_serial -> ()
+        | _ -> fail "serial should parse");
+        List.iter
+          (fun text ->
+            match Core.Rram_cost.parse_arch text with
+            | Error _ -> ()
+            | Ok _ -> fail (text ^ " should be rejected"))
+          [ "0x8"; "8x0"; "-2x8"; "ax8"; "8"; "x"; "" ]);
+    test_case "serial compile is bit-identical under the default arch" `Quick
+      (fun () ->
+        let mig = of_net (Funcgen.rd 5 3) in
+        let a = Rram.Compile_mig.compile Core.Rram_cost.Maj mig in
+        let b =
+          Rram.Compile_mig.compile ~arch:Core.Rram_cost.Unbounded_serial
+            Core.Rram_cost.Maj mig
+        in
+        check bool "same program" true
+          (a.Rram.Compile_mig.program = b.Rram.Compile_mig.program));
+  ]
+
+let crossbar_props =
+  let random_mig seed =
+    let rng = Prng.create seed in
+    let mig = Core.Mig.create () in
+    let signals = ref [| Core.Mig.const0 |] in
+    let add s = signals := Array.append !signals [| s |] in
+    for _ = 1 to 5 do
+      add (Core.Mig.add_pi mig)
+    done;
+    for _ = 1 to 25 do
+      let pick () =
+        let s = Prng.pick rng !signals in
+        if Prng.bool rng then Core.Mig.not_ s else s
+      in
+      add (Core.Mig.maj mig (pick ()) (pick ()) (pick ()))
+    done;
+    for _ = 1 to 3 do
+      ignore (Core.Mig.add_po mig (Prng.pick rng !signals))
+    done;
+    Core.Mig.cleanup mig
+  in
+  [
+    QCheck.Test.make
+      ~name:"random MIGs: crossbar waves = MIG function, rows disjoint (both)"
+      ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = random_mig seed in
+        crossbar_check mig;
+        true);
+    QCheck.Test.make ~name:"random MIGs: halved row budget stays equivalent"
+      ~count:40
+      (QCheck.make QCheck.Gen.(int_bound 100000))
+      (fun seed ->
+        let mig = random_mig seed in
+        crossbar_constrained_check mig;
+        true);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Non-ideal devices, fault semantics, remapping, TMR                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -687,6 +916,8 @@ let () =
       ("baselines", baseline_tests);
       ("energy", energy_tests);
       ("placement", placement_tests);
+      ("crossbar", crossbar_tests);
+      ("crossbar-props", List.map QCheck_alcotest.to_alcotest crossbar_props);
       ("fault-semantics", fault_semantics_tests);
       ("tmr", tmr_tests);
       ("interp-trace", interp_trace_tests);
