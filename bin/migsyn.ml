@@ -7,11 +7,16 @@
      map       compile to an RRAM program, report costs, verify, dump
      compare   MIG flow vs the BDD [11] and AIG [12] baselines on one file
      bench     run the paper's experiment rows for named benchmarks
+     crossbar  unbounded-serial vs crossbar-constrained mapping comparison
+     plim      compile to an RM3 instruction stream for the PLiM computer
+     export    write the optimized MIG as DOT/Verilog/BLIF/bench/AIGER
      gen       generate a seeded synthetic netlist (large-N tiers included)
      faults    stuck-at repair demo + baseline/resilient/TMR yield experiment
      montecarlo  yield-vs-variability campaign over the statistical device model
      profile   optimize + compile + execute with a timing/counter report
      report    compare two ledgers/manifests/baselines, exit 2 on regression
+     serve     synthesis daemon on a Unix socket with a strash result cache
+     client    send one migsyn-serve/1 request to a running daemon
 
    Every subcommand accepts --trace FILE (Chrome trace-event JSON, loadable
    in chrome://tracing or Perfetto), --metrics FILE (flat metrics JSON),
@@ -1389,6 +1394,308 @@ let report_cmd =
       const run $ obs_term $ baseline_arg $ current_arg $ threshold_arg
       $ min_time_arg $ ignore_arg $ md_arg $ json_arg)
 
+(* ---------------- serve ---------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path of the daemon. $(b,migsyn serve) binds \
+           it (replacing a stale file), $(b,migsyn client) dials it.")
+
+let serve_cmd =
+  let jobs_serve_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains of the shared synthesis pool. 0 (the default) \
+             picks automatically: $(b,MIGSYN_JOBS) if set, else the \
+             recommended domain count of this machine.")
+  in
+  let cache_mb_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Byte budget of the strash result cache in MiB; least-recently \
+             used results are evicted beyond it.")
+  in
+  let max_request_mb_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-request-mb" ] ~docv:"MB"
+          ~doc:
+            "Request lines beyond this many MiB are answered with an \
+             $(b,oversized) error instead of being parsed.")
+  in
+  let run obs socket jobs cache_mb max_request_mb =
+    try
+      with_obs ~sub:"serve" obs @@ fun () ->
+      if cache_mb < 1 then
+        failwith
+          (Printf.sprintf "--cache-mb must be at least 1 (got %d)" cache_mb);
+      if max_request_mb < 1 then
+        failwith
+          (Printf.sprintf "--max-request-mb must be at least 1 (got %d)"
+             max_request_mb);
+      let jobs = resolve_jobs jobs in
+      ctx "socket" (Obs.Json.String socket);
+      ctx "jobs" (Obs.Json.Int jobs);
+      ctx "cache_mb" (Obs.Json.Int cache_mb);
+      let stop = ref false in
+      let on_signal _ = stop := true in
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+       with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+       with Invalid_argument _ | Sys_error _ -> ());
+      let cfg =
+        {
+          Serve.Server.socket_path = socket;
+          jobs;
+          cache_budget_bytes = cache_mb * 1024 * 1024;
+          max_request_bytes = max_request_mb * 1024 * 1024;
+          stop = (fun () -> !stop);
+          on_listening =
+            (fun () ->
+              Format.printf "migsyn serve: listening on %s (jobs=%d)@." socket
+                jobs;
+              (* tools waiting for readiness watch stdout *)
+              flush stdout);
+        }
+      in
+      let s =
+        try Serve.Server.run cfg
+        with Unix.Unix_error (err, fn, arg) ->
+          failwith
+            (Printf.sprintf "%s: %s%s" fn (Unix.error_message err)
+               (if arg = "" then "" else " (" ^ arg ^ ")"))
+      in
+      let c = s.Serve.Server.cache in
+      Format.printf
+        "migsyn serve: shutting down: %d requests (%d ok, %d errors) in %d \
+         batches (max batch %d)@."
+        s.Serve.Server.requests s.Serve.Server.ok s.Serve.Server.errors
+        s.Serve.Server.batches s.Serve.Server.max_batch;
+      Format.printf
+        "migsyn serve: cache: %d hits, %d misses, %d coalesced, %d evictions, \
+         %d entries, %d bytes@."
+        c.Serve.Cache.hits c.Serve.Cache.misses c.Serve.Cache.coalesced
+        c.Serve.Cache.evictions c.Serve.Cache.entries c.Serve.Cache.bytes
+    with Failure msg ->
+      prerr_endline ("migsyn serve: error: " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis daemon: a Unix-domain-socket server speaking \
+          newline-delimited JSON (schema migsyn-serve/1, spec in \
+          docs/PROTOCOL.md). Requests carry a circuit in any of the five \
+          input formats plus a flow script or algorithm; responses carry \
+          the optimized network, the cost triple and the verification \
+          status. Results are cached by strash-canonical form, so repeated \
+          equivalent requests are answered from memory, bit-identical to a \
+          cold synthesis. Stop with SIGINT/SIGTERM or a shutdown request; \
+          both flush --ledger manifests with the final request and cache \
+          counters.")
+    Term.(
+      const run $ obs_term $ socket_arg $ jobs_serve_arg $ cache_mb_arg
+      $ max_request_mb_arg)
+
+(* ---------------- client ---------------- *)
+
+let client_cmd =
+  let op_arg =
+    Arg.(
+      value
+      & opt (enum [ ("synth", `Synth); ("ping", `Ping); ("metrics", `Metrics); ("shutdown", `Shutdown) ]) `Synth
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Request op: $(b,synth) (default), $(b,ping), $(b,metrics) or \
+                $(b,shutdown).")
+  in
+  let netlist_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"NETLIST"
+          ~doc:"Input netlist for synth requests (.blif, .bench, .pla, .aag \
+                or .aig).")
+  in
+  let flow_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "f"; "flow" ] ~docv:"SCRIPT"
+          ~doc:
+            "Flow script to run (see $(b,migsyn flow --list-passes)). \
+             Repeatable: several scripts race as a portfolio under the \
+             request's --cost, exactly like $(b,migsyn flow --portfolio).")
+  in
+  let algorithm_str_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "a"; "algorithm" ] ~docv:"ALG"
+          ~doc:
+            "Canonical algorithm name instead of --flow (area, depth, \
+             rram-costs-imp, rram-costs-maj, steps, bool-rewrite).")
+  in
+  let effort_opt_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "e"; "effort" ] ~docv:"N"
+          ~doc:"Optimization effort for --algorithm requests.")
+  in
+  let cost_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cost" ] ~docv:"COST"
+          ~doc:"Portfolio selection cost for multi---flow requests.")
+  in
+  let inline_arg =
+    Arg.(
+      value & flag
+      & info [ "inline" ]
+          ~doc:
+            "Send the netlist text inline in the request instead of its \
+             path, so the daemon needs no access to the client's \
+             filesystem.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Send the request N times over one connection (the second and \
+             later responses exercise the daemon's result cache).")
+  in
+  let stable_arg =
+    Arg.(
+      value & flag
+      & info [ "stable" ]
+          ~doc:
+            "Strip the volatile envelope members (cache disposition, wall \
+             seconds) from each response before printing, leaving only \
+             bytes that are identical for hot and cold answers.")
+  in
+  let id_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Correlation id echoed in responses.")
+  in
+  let jobs_req_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Per-request worker budget for portfolio requests (capped by \
+             the daemon's own --jobs).")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Ask the daemon to skip equivalence verification.")
+  in
+  let run obs socket op netlist flows algorithm effort jobs cost arch
+      realization no_verify inline repeat stable id =
+    try
+      with_obs ~sub:"client" obs @@ fun () ->
+      if repeat < 1 then
+        failwith (Printf.sprintf "--repeat must be at least 1 (got %d)" repeat);
+      let request =
+        match op with
+        | `Ping -> { Serve.Protocol.id; op = Serve.Protocol.Ping }
+        | `Metrics -> { Serve.Protocol.id; op = Serve.Protocol.Metrics }
+        | `Shutdown -> { Serve.Protocol.id; op = Serve.Protocol.Shutdown }
+        | `Synth ->
+            let path =
+              match netlist with
+              | Some p -> p
+              | None -> failwith "synth requests need a NETLIST argument"
+            in
+            let circuit =
+              if inline then begin
+                let format =
+                  match Filename.extension path with
+                  | "" -> failwith (path ^ ": missing extension")
+                  | ext -> String.sub ext 1 (String.length ext - 1)
+                in
+                let ic = open_in_bin path in
+                let source =
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                in
+                Serve.Protocol.Inline { format; source }
+              end
+              else Serve.Protocol.File path
+            in
+            {
+              Serve.Protocol.id;
+              op =
+                Serve.Protocol.Synth
+                  {
+                    circuit;
+                    flows;
+                    algorithm;
+                    effort;
+                    jobs = (if jobs <= 0 then None else Some jobs);
+                    cost;
+                    arch;
+                    realization =
+                      (match realization with
+                      | Core.Rram_cost.Imp -> "imp"
+                      | Core.Rram_cost.Maj -> "maj");
+                    verify = not no_verify;
+                  };
+            }
+      in
+      let line = Serve.Protocol.encode_request request in
+      let conn =
+        try Serve.Client.connect socket
+        with Unix.Unix_error (err, fn, _) ->
+          failwith (socket ^ ": " ^ fn ^ ": " ^ Unix.error_message err)
+      in
+      let saw_error = ref false in
+      for _ = 1 to repeat do
+        Serve.Client.send_line conn line;
+        let response =
+          match Obs.Json.of_string (Serve.Client.recv_line conn) with
+          | json -> json
+          | exception Obs.Json.Parse_error msg ->
+              failwith ("invalid response from migsyn serve: " ^ msg)
+        in
+        (match Obs.Json.member "status" response with
+        | Obs.Json.String "ok" -> ()
+        | _ -> saw_error := true);
+        let shown =
+          if stable then Serve.Protocol.strip_volatile response else response
+        in
+        print_endline (Obs.Json.to_string shown)
+      done;
+      Serve.Client.close conn;
+      if !saw_error then exit 1
+    with Failure msg ->
+      prerr_endline ("migsyn client: error: " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,migsyn serve) daemon and print \
+          each response line (JSON, schema migsyn-serve/1). The test-harness \
+          side of the wire protocol: --repeat demonstrates cache hits, \
+          --stable strips the volatile envelope members so hot and cold \
+          responses byte-compare equal. Exits 1 if any response carries an \
+          error status.")
+    Term.(
+      const run $ obs_term $ socket_arg $ op_arg $ netlist_arg $ flow_args
+      $ algorithm_str_arg $ effort_opt_arg $ jobs_req_arg $ cost_arg
+      $ arch_arg $ realization_arg $ no_verify_arg $ inline_arg
+      $ repeat_arg $ stable_arg $ id_arg)
+
 let subcommands =
   [
     stats_cmd;
@@ -1405,6 +1712,8 @@ let subcommands =
     montecarlo_cmd;
     profile_cmd;
     report_cmd;
+    serve_cmd;
+    client_cmd;
   ]
 
 let () =

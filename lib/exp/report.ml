@@ -15,7 +15,9 @@ type source = {
 }
 
 let noisy_metric name =
-  String.ends_with ~suffix:"seconds" name || String.ends_with ~suffix:"_ns" name
+  String.ends_with ~suffix:"seconds" name
+  || String.ends_with ~suffix:"_ns" name
+  || String.ends_with ~suffix:"_rps" name
 
 (* ------------------------------------------------------------------ *)
 (* Flattening documents into keyed rows                                *)
@@ -189,6 +191,61 @@ let bench2_rows json =
   in
   head :: rows
 
+let serve_bench_rows json =
+  let head =
+    {
+      r_key = [ "serve-bench" ];
+      r_metrics =
+        pick_metrics
+          [
+            "classes";
+            "requests";
+            "repeats";
+            "unique";
+            "error_requests";
+            "clients";
+            "effort";
+          ]
+          json;
+    }
+  in
+  let totals =
+    {
+      r_key = [ "serve-bench"; "totals" ];
+      r_metrics =
+        pick_metrics
+          [ "ok"; "errors"; "hits"; "misses"; "coalesced"; "evictions" ]
+          (Json.member "totals" json);
+    }
+  in
+  let latency =
+    {
+      r_key = [ "serve-bench"; "latency" ];
+      r_metrics =
+        pick_metrics [ "throughput_rps" ] json
+        @ pick_metrics
+            [
+              "p50_seconds";
+              "p90_seconds";
+              "p99_seconds";
+              "mean_seconds";
+              "max_seconds";
+            ]
+            (Json.member "latency" json);
+    }
+  in
+  let mix =
+    List.map
+      (fun m ->
+        {
+          r_key = [ "serve-bench"; str_member "class" m ];
+          r_metrics =
+            pick_metrics [ "requests"; "p50_seconds"; "p99_seconds" ] m;
+        })
+      (Json.to_list (Json.member "mix" json))
+  in
+  head :: totals :: latency :: mix
+
 (* Scalars become metrics under dotted names; structured values are kept
    as their compact JSON text so they still compare exactly. *)
 let rec flatten_json prefix json =
@@ -283,6 +340,7 @@ let rows_of_json ~path json =
     | "migsyn-montecarlo/1" -> montecarlo_rows json
     | "migsyn-crossbar/1" -> crossbar_rows json
     | "migsyn-bench/2" -> bench2_rows json
+    | "migsyn-serve-bench/1" -> serve_bench_rows json
     | "migsyn-run/1" -> run_rows json
     | "" -> failwith (path ^ ": no \"schema\" member; not a comparable document")
     | s -> failwith (path ^ ": unsupported schema " ^ s)

@@ -8,9 +8,9 @@
       baseline, σ × arm for Monte-Carlo campaigns, span path for run
       manifests) so the same measurement is matched across runs whatever
       the file order;
-    - {e noisy} metrics (wall times: ["seconds"], ["wall_seconds"], any
-      ["*_ns"]) compare under a relative threshold plus an absolute floor,
-      because timing jitter is not a regression;
+    - {e noisy} metrics (wall-clock derived: ["seconds"], ["wall_seconds"],
+      any ["*_ns"] or ["*_rps"]) compare under a relative threshold plus an
+      absolute floor, because timing jitter is not a regression;
     - every other metric is {e exact}: gate counts, Table I costs,
       Monte-Carlo outcomes and span call counts are deterministic, so any
       difference is a real behavioral change and is flagged regardless of
@@ -43,7 +43,7 @@ val noisy_metric : string -> bool
 val rows_of_json : path:string -> Obs.Json.t -> source
 (** Flatten one parsed document into comparable rows.  Supported schemas:
     ["migsyn-bench-opt/1"], ["migsyn-montecarlo/1"], ["migsyn-crossbar/1"],
-    ["migsyn-bench/2"] and ["migsyn-run/1"].
+    ["migsyn-bench/2"], ["migsyn-serve-bench/1"] and ["migsyn-run/1"].
     @raise Failure on an unknown or missing schema. *)
 
 val load : string -> source

@@ -1,0 +1,77 @@
+(** The hash-consed synthesis result cache.
+
+    The cache key is the {e strash-canonical} form of the request: the
+    input MIG is re-canonicalized with the registered strash pass
+    (duplicate gates merged, dead id ranges compacted — DESIGN.md §14), and
+    the key serializes the canonical graph's signed fanin triples and PO
+    literals together with the flow-script text, the architecture, the
+    realization and the verification switch.  Two structurally equivalent
+    circuits — equal up to dead nodes, duplicate gates and order-preserving
+    renumbering — therefore collide to one key however they were built or
+    which of the five input formats carried them, so a million equivalent
+    requests cost one synthesis.  Functionally different circuits (or the
+    same circuit under a different flow/arch) get distinct keys.
+
+    Values are the served result payloads as {!Obs.Json} trees; a hit
+    serializes the {e same} tree the cold response did, which is what makes
+    hot answers bit-identical to cold ones (CI-asserted).  The store is an
+    LRU bounded by a byte budget (keys + rendered payloads), with hit /
+    miss / coalesced / eviction counters mirrored into the {!Obs} registry
+    (names [serve.cache/*]) so they surface in [--metrics] exports and
+    run-ledger manifests.
+
+    The cache is {e not} thread-safe: the server drives it from the accept
+    loop's domain only — worker domains synthesize, the main domain stores. *)
+
+type t
+
+type stats = {
+  hits : int;
+  misses : int;
+  coalesced : int;
+      (** duplicate keys answered from one in-batch synthesis *)
+  evictions : int;
+  entries : int;
+  bytes : int;  (** current footprint (keys + rendered payloads) *)
+  budget_bytes : int;
+}
+
+val create : ?budget_bytes:int -> unit -> t
+(** [budget_bytes] defaults to 256 MiB; it must be positive.  The newest
+    entry is never evicted, so one oversized result can exceed the budget
+    momentarily rather than thrash. *)
+
+val canonical_key :
+  flow:string ->
+  arch:string ->
+  realization:string ->
+  verify:bool ->
+  Core.Mig.t ->
+  Core.Mig.t * string
+(** [(canon, key)]: the strash-canonical graph (the server synthesizes
+    {e this} graph, so equal keys imply bit-identical synthesis inputs)
+    and the cache key. *)
+
+val fingerprint : string -> string
+(** Short hex digest of a key — the observable name of an equivalence
+    class in responses and transcripts (the full key is megabytes for
+    large circuits). *)
+
+val find : t -> string -> Obs.Json.t option
+(** Counts a hit and refreshes recency on success; counts nothing on a
+    miss (the server decides whether the miss leads to a synthesis or
+    coalesces into one already running — see {!note_miss} /
+    {!note_coalesced}). *)
+
+val store : t -> string -> Obs.Json.t -> unit
+(** Insert (or refresh) an entry, then evict least-recently-used entries
+    until the byte budget holds. *)
+
+val note_miss : t -> unit
+
+val note_coalesced : t -> unit
+
+val stats : t -> stats
+
+val stats_json : t -> Obs.Json.t
+(** The {!stats} record as the ["cache"] object of metrics responses. *)

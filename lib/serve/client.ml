@@ -1,0 +1,74 @@
+(* Blocking line-oriented client for the serve socket. *)
+
+module Json = Obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read past the last returned line *)
+  mutable eof : bool;
+}
+
+let connect ?(retries = 40) ?(delay = 0.05) path =
+  let rec attempt n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; buf = Buffer.create 4096; eof = false }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf delay;
+        attempt (n - 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  try attempt retries
+  with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+    failwith
+      (Printf.sprintf "no migsyn serve daemon is listening on %s" path)
+
+let send_line t line =
+  let s = line ^ "\n" in
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring t.fd s !pos (len - !pos)
+  done
+
+let chunk_bytes = 65536
+
+let recv_line t =
+  let take_line () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf data (i + 1) (String.length data - i - 1);
+        Some (String.sub data 0 i)
+  in
+  let bytes = Bytes.create chunk_bytes in
+  let rec go () =
+    match take_line () with
+    | Some line -> line
+    | None ->
+        if t.eof then failwith "connection closed by migsyn serve";
+        (match Unix.read t.fd bytes 0 chunk_bytes with
+        | 0 -> t.eof <- true
+        | n -> Buffer.add_subbytes t.buf bytes 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+  in
+  go ()
+
+let rpc t request =
+  send_line t (Json.to_string request);
+  let line = recv_line t in
+  match Json.of_string line with
+  | json -> json
+  | exception Json.Parse_error msg ->
+      failwith (Printf.sprintf "invalid response from migsyn serve: %s" msg)
+
+let close t =
+  t.eof <- true;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,31 @@
+(** A small blocking client for the [migsyn serve] socket.
+
+    This is the test-harness side of the protocol: it powers
+    [migsyn client], the serve load driver and the end-to-end tests.
+    One {!t} wraps one connection; {!rpc} writes a request line and
+    blocks for the matching response line (the server answers each
+    connection in request order, so pairing is positional). *)
+
+type t
+
+val connect : ?retries:int -> ?delay:float -> string -> t
+(** [connect path] dials the Unix-domain socket at [path].  While the
+    socket is missing or refusing — the daemon may still be binding —
+    the attempt is retried [retries] times (default 40) every [delay]
+    seconds (default 0.05).
+    @raise Failure when the server never comes up. *)
+
+val rpc : t -> Obs.Json.t -> Obs.Json.t
+(** Send one request object (a newline is appended) and read one
+    response line.
+    @raise Failure on EOF or a response that is not valid JSON. *)
+
+val send_line : t -> string -> unit
+(** Write a raw line verbatim (plus the newline).  For protocol tests
+    that need to send malformed framing on purpose. *)
+
+val recv_line : t -> string
+(** Read the next newline-terminated line.
+    @raise Failure on EOF. *)
+
+val close : t -> unit

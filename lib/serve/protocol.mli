@@ -1,0 +1,87 @@
+(** The [migsyn-serve/1] wire protocol.
+
+    Framing is newline-delimited JSON: a client sends one request object
+    per line and the server answers one response object per line, in the
+    order the requests arrived on that connection.  The full operator-facing
+    specification — schemas, error envelopes, cache semantics, versioning
+    rules, captured transcripts — lives in docs/PROTOCOL.md; this module is
+    the single codec both the server and the bundled client use, built on
+    the dependency-free {!Obs.Json} printer/parser.
+
+    Decoding is total: any byte sequence maps either to a [request] or to
+    an [error_code] the server turns into a structured error envelope, so a
+    malformed line can never take the daemon down. *)
+
+val schema : string
+(** ["migsyn-serve/1"].  Requests must carry it verbatim; responses always
+    do.  See docs/PROTOCOL.md for the versioning rules. *)
+
+(** How the circuit travels: inline source text in one of the five
+    supported formats ([blif], [bench], [pla], [aag], [aig]), or a
+    filesystem path the {e server} resolves (extension-dispatched like the
+    CLI; requires a shared filesystem). *)
+type circuit =
+  | Inline of { format : string; source : string }
+  | File of string
+
+type synth = {
+  circuit : circuit;
+  flows : string list;
+      (** flow scripts: one runs directly; several race as a portfolio *)
+  algorithm : string option;
+      (** a canonical algorithm name instead of explicit scripts *)
+  effort : int option;  (** cycle effort for [algorithm] requests *)
+  jobs : int option;  (** per-request parallelism budget (portfolio race) *)
+  cost : string option;  (** portfolio race cost name *)
+  arch : string option;  (** ["serial"] or ["ROWSxCOLUMNS"] *)
+  realization : string;  (** ["imp"] or ["maj"] (default) *)
+  verify : bool;  (** equivalence-check the result (default [true]) *)
+}
+
+type op =
+  | Synth of synth
+  | Metrics  (** server + cache counters as a JSON object *)
+  | Ping  (** liveness + schema discovery *)
+  | Shutdown  (** acknowledge, then stop the daemon cleanly *)
+
+type request = { id : string option; op : op }
+
+(** Machine-readable error classes of the error envelope; the daemon stays
+    alive whatever the class. *)
+type error_code =
+  | Parse_error  (** the line is not valid JSON *)
+  | Bad_schema  (** missing/unknown ["schema"] member *)
+  | Bad_request  (** a field is missing, malformed or contradictory *)
+  | Oversized  (** the request line exceeds the server's byte cap *)
+  | Unsupported_op  (** unknown ["op"] *)
+  | Synthesis_failed  (** the flow or the mapping backend failed *)
+  | Verification_failed  (** the optimized network is not equivalent *)
+  | Io_error  (** a [File] circuit could not be read or parsed *)
+
+val code_name : error_code -> string
+(** The snake_case wire name, e.g. ["bad_request"]. *)
+
+val decode_request : string -> (request, error_code * string) result
+(** Decode one request line (without the trailing newline). *)
+
+val encode_request : request -> string
+(** One compact JSON line (no trailing newline) — the client side. *)
+
+(** {1 Responses} *)
+
+val ok_response :
+  id:string option -> cache:string -> seconds:float -> result:Obs.Json.t -> Obs.Json.t
+(** [cache] is ["hit"], ["miss"], ["coalesced"] or ["none"] (non-synth
+    ops); [result] is the op-specific payload — for cache hits it is the
+    {e same} stored tree the cold response serialized, so the two renders
+    are byte-identical. *)
+
+val error_response : id:string option -> code:error_code -> string -> Obs.Json.t
+
+val response_line : Obs.Json.t -> string
+(** Compact JSON plus the terminating newline. *)
+
+val strip_volatile : Obs.Json.t -> Obs.Json.t
+(** Drop the envelope members that legitimately differ between repeat
+    answers (["cache"], ["seconds"]) — the stable view the CI smoke test
+    byte-compares between a cold and a hot response. *)
